@@ -1,0 +1,65 @@
+// Experiment E13 (Section 1.2's generalization claim): 4-clique
+// enumeration via the s-tuple generalization of TriPartition.
+//
+// Predicted shape: with c = k^{1/4} colors each edge replicates to
+// ~k^{1/2} quadruplet machines, so rounds fall ~k^{-3/2} (vs k^{-5/3}
+// for triangles) and total messages grow ~k^{1/2}.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/cliques.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace km;
+
+constexpr std::size_t kN = 400;
+constexpr std::uint64_t kBandwidth = 256;
+
+const Graph& dense_graph() {
+  static const Graph g = [] {
+    Rng rng(111);
+    return gnp(kN, 0.4, rng);
+  }();
+  return g;
+}
+
+void BM_FourCliques(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Graph& g = dense_graph();
+  Metrics metrics;
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = kBandwidth, .seed = 23});
+    Rng prng(24 + k);
+    const auto part = VertexPartition::random(g.num_vertices(), k, prng);
+    CliqueConfig cfg;
+    cfg.record_cliques = false;
+    const auto res = distributed_four_cliques(g, part, engine, cfg);
+    metrics = res.metrics;
+    total = res.total;
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  state.counters["messages"] = static_cast<double>(metrics.messages);
+  state.counters["found"] = static_cast<double>(total);
+  auto& t = bench::SeriesTable::instance();
+  t.add("4cliques/rounds", static_cast<double>(k),
+        static_cast<double>(metrics.rounds));
+  t.add("4cliques/messages", static_cast<double>(k),
+        static_cast<double>(metrics.messages));
+}
+BENCHMARK(BM_FourCliques)->Arg(16)->Arg(81)->Arg(256)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+struct RegisterExpectations {
+  RegisterExpectations() {
+    auto& t = bench::SeriesTable::instance();
+    t.expect_slope("4cliques/rounds", -1.5);
+    t.expect_slope("4cliques/messages", 0.5);
+  }
+} register_expectations;
+
+}  // namespace
+
+KM_BENCH_MAIN("k machines")

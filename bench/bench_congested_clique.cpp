@@ -1,0 +1,63 @@
+// Experiment E6 (Corollary 1): congested clique triangle enumeration.
+//
+// Paper claim: with k = n (one vertex per machine) the round complexity
+// of triangle enumeration is Theta~(n^{1/3}): the Omega(n^{1/3}/B) lower
+// bound is the first super-constant bound for the congested clique, and
+// TriPartition (Dolev et al.) matches it.  We sweep n over perfect cubes
+// and check rounds grow ~n^{1/3} while the lower bound stays below.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/triangles.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace km;
+
+void BM_CongestedClique(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // A small fixed bandwidth resolves the ~n^{1/3} round growth at these
+  // modest n (with B = polylog(n) the whole run fits in a few rounds).
+  const std::uint64_t B = 8;
+  Rng grng(404 + n);
+  const auto g = gnp(n, 0.5, grng);
+  Metrics metrics;
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    Engine engine(n, {.bandwidth_bits = B, .seed = 5});
+    const auto part = VertexPartition::identity(n);
+    TriangleConfig cfg;
+    cfg.record_triples = false;
+    const auto res = distributed_triangles(g, part, engine, cfg);
+    metrics = res.metrics;
+    total = res.total;
+  }
+  const auto lb = congested_clique_triangle_lower_bound(n, B);
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  state.counters["lb_rounds"] = lb.rounds();
+  state.counters["found"] = static_cast<double>(total);
+  auto& t = bench::SeriesTable::instance();
+  t.add("congested-clique/measured (rounds)", static_cast<double>(n),
+        static_cast<double>(metrics.rounds));
+  t.add("congested-clique/lower-bound (rounds)", static_cast<double>(n),
+        std::max(lb.rounds(), 1e-9));
+}
+
+BENCHMARK(BM_CongestedClique)->Arg(27)->Arg(64)->Arg(125)->Arg(216)->Arg(343)->Arg(512)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+struct RegisterExpectations {
+  RegisterExpectations() {
+    auto& t = bench::SeriesTable::instance();
+    // Rounds should grow sublinearly, tracking ~n^{1/3} (the finite-size
+    // fit is steeper than 1/3 because message sizes grow with log n).
+    t.expect_slope("congested-clique/measured (rounds)", 1.0 / 3.0);
+    t.expect_slope("congested-clique/lower-bound (rounds)", 1.0 / 3.0);
+  }
+} register_expectations;
+
+}  // namespace
+
+KM_BENCH_MAIN("n = k (vertices = machines)")

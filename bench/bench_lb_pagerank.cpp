@@ -1,0 +1,113 @@
+// Experiment E3/E12 (Theorem 2, Figure 1, Lemmas 4-8): the PageRank
+// lower bound, empirically.
+//
+// Regenerates three artifacts:
+//  1. Lemma 4's constant-factor PageRank separation on the gadget H
+//     (analytic values vs the exact solver, printed as counters);
+//  2. Lemma 5's concentration: the max number of weakly connected X-V
+//     paths any machine learns from the random vertex partition, vs the
+//     O(n log n / k^2) bound — scaling ~k^{-2};
+//  3. the Omega~(n/Bk^2) round bound next to Algorithm 1's measured
+//     rounds on H (the near-tightness claim of Section 1.2), plus the
+//     General-Lower-Bound-Theorem instances for sorting and MST
+//     (Section 1.3) evaluated on the same parameters.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/info_cost.hpp"
+#include "core/pagerank.hpp"
+#include "graph/lb_graphs.hpp"
+#include "graph/pagerank_ref.hpp"
+
+namespace {
+
+using namespace km;
+
+constexpr std::size_t kQ = 2500;  // n = 10001
+constexpr std::uint64_t kBandwidth = 64;
+
+void BM_Lemma4Separation(benchmark::State& state) {
+  Rng rng(1);
+  PageRankLowerBoundGraph h(64, rng);
+  double ratio = 0.0, solver_gap = 0.0;
+  for (auto _ : state) {
+    const double eps = 0.2;
+    ratio = h.expected_pagerank_v(eps, 1) / h.expected_pagerank_v(eps, 0);
+    const auto pi = expected_visit_pagerank(h.graph(), {.eps = eps});
+    solver_gap = 0.0;
+    for (std::size_t i = 0; i < h.q(); ++i) {
+      solver_gap = std::max(
+          solver_gap, std::abs(pi[h.v(i)] -
+                               h.expected_pagerank_v(eps, h.bits()[i])));
+    }
+  }
+  state.counters["separation_ratio"] = ratio;        // ~1.5 at eps=0.2
+  state.counters["solver_vs_lemma4_gap"] = solver_gap;  // ~0
+}
+BENCHMARK(BM_Lemma4Separation)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_Lemma5PathKnowledge(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng grng(2);
+  PageRankLowerBoundGraph h(kQ, grng);
+  std::uint64_t max_paths = 0;
+  for (auto _ : state) {
+    Rng prng(3 + k);
+    const auto part = VertexPartition::random(h.n(), k, prng);
+    const auto counts = known_paths_per_machine(h, part);
+    max_paths = *std::max_element(counts.begin(), counts.end());
+  }
+  const double n = static_cast<double>(h.n());
+  const double bound = n * std::log2(n) / (static_cast<double>(k) * k);
+  state.counters["max_known_paths"] = static_cast<double>(max_paths);
+  state.counters["lemma5_bound"] = bound;
+  bench::SeriesTable::instance().add("lemma5/max-known-paths",
+                                     static_cast<double>(k),
+                                     std::max<double>(max_paths, 0.5));
+}
+BENCHMARK(BM_Lemma5PathKnowledge)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_BoundVsAchieved(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng grng(4);
+  PageRankLowerBoundGraph h(kQ, grng);
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = kBandwidth, .seed = 5});
+    Rng prng(6 + k);
+    const auto part = VertexPartition::random(h.n(), k, prng);
+    metrics = distributed_pagerank(h.graph(), part, engine,
+                                   {.eps = 0.2, .c = 4.0})
+                  .metrics;
+  }
+  const auto lb = pagerank_lower_bound(h.n(), k, kBandwidth);
+  state.counters["measured_rounds"] = static_cast<double>(metrics.rounds);
+  state.counters["lb_rounds"] = lb.rounds();
+  state.counters["gap"] = static_cast<double>(metrics.rounds) / lb.rounds();
+  state.counters["sorting_lb"] = sorting_lower_bound(h.n(), k, kBandwidth).rounds();
+  state.counters["mst_lb"] = mst_lower_bound(h.n(), k, kBandwidth).rounds();
+  auto& t = bench::SeriesTable::instance();
+  t.add("pagerank-on-H/measured (rounds)", static_cast<double>(k),
+        static_cast<double>(metrics.rounds));
+  t.add("pagerank-on-H/theorem2-LB (rounds)", static_cast<double>(k),
+        lb.rounds());
+}
+BENCHMARK(BM_BoundVsAchieved)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+struct RegisterExpectations {
+  RegisterExpectations() {
+    auto& t = bench::SeriesTable::instance();
+    t.expect_slope("lemma5/max-known-paths", -2.0);
+    t.expect_slope("pagerank-on-H/measured (rounds)", -2.0);
+    t.expect_slope("pagerank-on-H/theorem2-LB (rounds)", -2.0);
+  }
+} register_expectations;
+
+}  // namespace
+
+KM_BENCH_MAIN("k machines")

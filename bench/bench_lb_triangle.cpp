@@ -1,0 +1,135 @@
+// Experiment E5 (Theorem 3, Lemmas 9-11): the triangle enumeration
+// lower bound, empirically on G(n,1/2).
+//
+// Regenerates:
+//  1. Lemma 10: max edges initially known per machine vs O(n^2 log n /k);
+//  2. Lemma 11: per-machine information cost — the machine outputting
+//     t_i triangles of which t3_i were locally visible must have
+//     received >= Rivin(t_i - t3_i) bits; we verify the simulator's
+//     per-machine received bits dominate that and print the ratio;
+//  3. the Omega~(n^2/Bk^{5/3}) round bound next to TriPartition's
+//     measured rounds (near-tightness of Theorem 5).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/info_cost.hpp"
+#include "core/triangles.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace km;
+
+constexpr std::size_t kN = 500;
+constexpr std::uint64_t kBandwidth = 256;
+
+const Graph& dense_graph() {
+  static const Graph g = [] {
+    Rng rng(606);
+    return gnp(kN, 0.5, rng);
+  }();
+  return g;
+}
+
+void BM_Lemma10InitialKnowledge(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Graph& g = dense_graph();
+  std::uint64_t max_edges = 0;
+  for (auto _ : state) {
+    Rng prng(7 + k);
+    const auto part = VertexPartition::random(kN, k, prng);
+    const auto counts = known_edges_per_machine(g, part);
+    max_edges = *std::max_element(counts.begin(), counts.end());
+  }
+  const double n = static_cast<double>(kN);
+  state.counters["max_known_edges"] = static_cast<double>(max_edges);
+  state.counters["lemma10_bound"] = n * n * std::log2(n) / (2.0 * k);
+  bench::SeriesTable::instance().add("lemma10/max-known-edges",
+                                     static_cast<double>(k),
+                                     static_cast<double>(max_edges));
+}
+BENCHMARK(BM_Lemma10InitialKnowledge)->Arg(4)->Arg(8)->Arg(27)->Arg(64)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_Lemma11InformationCost(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Graph& g = dense_graph();
+  double max_ic = 0.0, min_ratio = 0.0;
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = kBandwidth, .seed = 8});
+    Rng prng(9 + k);
+    const auto part = VertexPartition::random(kN, k, prng);
+    TriangleConfig cfg;
+    cfg.record_triples = false;
+    const auto res = distributed_triangles(g, part, engine, cfg);
+    metrics = res.metrics;
+    const auto t3 = local_triangles_per_machine(g, part);
+    max_ic = 0.0;
+    min_ratio = 1e300;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double ic = triangle_output_information_bits(
+          static_cast<double>(res.per_machine_counts[i]),
+          static_cast<double>(t3[i]));
+      max_ic = std::max(max_ic, ic);
+      if (ic > 0) {
+        min_ratio = std::min(
+            min_ratio,
+            static_cast<double>(metrics.recv_bits_per_machine[i]) / ic);
+      }
+    }
+  }
+  state.counters["max_machine_IC_bits"] = max_ic;
+  state.counters["recv_bits_over_IC_min"] = min_ratio;  // must be >= 1
+  bench::SeriesTable::instance().add("lemma11/max-machine-IC-bits",
+                                     static_cast<double>(k), max_ic);
+}
+BENCHMARK(BM_Lemma11InformationCost)->Arg(8)->Arg(27)->Arg(64)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_BoundVsAchieved(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Graph& g = dense_graph();
+  Metrics metrics;
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = kBandwidth, .seed = 10});
+    Rng prng(11 + k);
+    const auto part = VertexPartition::random(kN, k, prng);
+    TriangleConfig cfg;
+    cfg.record_triples = false;
+    const auto res = distributed_triangles(g, part, engine, cfg);
+    metrics = res.metrics;
+    total = res.total;
+  }
+  const auto lb = triangle_lower_bound_from_t(
+      kN, static_cast<double>(total), k, kBandwidth);
+  state.counters["measured_rounds"] = static_cast<double>(metrics.rounds);
+  state.counters["lb_rounds"] = lb.rounds();
+  state.counters["gap"] =
+      static_cast<double>(metrics.rounds) / std::max(lb.rounds(), 1e-9);
+  auto& t = bench::SeriesTable::instance();
+  t.add("triangles-on-gnp/measured (rounds)", static_cast<double>(k),
+        static_cast<double>(metrics.rounds));
+  t.add("triangles-on-gnp/theorem3-LB (rounds)", static_cast<double>(k),
+        std::max(lb.rounds(), 1e-9));
+}
+BENCHMARK(BM_BoundVsAchieved)->Arg(8)->Arg(27)->Arg(64)->Arg(125)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+struct RegisterExpectations {
+  RegisterExpectations() {
+    auto& t = bench::SeriesTable::instance();
+    t.expect_slope("lemma10/max-known-edges", -1.0);
+    t.expect_slope("lemma11/max-machine-IC-bits", -2.0 / 3.0);
+    t.expect_slope("triangles-on-gnp/measured (rounds)", -5.0 / 3.0);
+    t.expect_slope("triangles-on-gnp/theorem3-LB (rounds)", -5.0 / 3.0);
+  }
+} register_expectations;
+
+}  // namespace
+
+KM_BENCH_MAIN("k machines")

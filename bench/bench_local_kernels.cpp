@@ -1,0 +1,76 @@
+// Throughput of the sequential reference kernels (the "free local
+// computation" of the model).  These are classic google-benchmark wall
+// time measurements, unlike the round-count benches: they document that
+// the simulator's per-machine local work (Section 1.1: bounded by a
+// polynomial, typically linear, in the machine's input) is cheap.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/pagerank_ref.hpp"
+#include "graph/triangle_ref.hpp"
+
+namespace {
+
+using namespace km;
+
+void BM_ExpectedVisitPageRank(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  const auto g = Digraph::from_undirected(gnp(n, 8.0 / n, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        expected_visit_pagerank(g, {.eps = 0.2, .tolerance = 1e-9}));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ExpectedVisitPageRank)->Range(1 << 10, 1 << 14)
+    ->Complexity(benchmark::oN)->Unit(benchmark::kMillisecond);
+
+void BM_PowerIterationPageRank(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(22);
+  const auto g = gnp_directed(n, 8.0 / n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        power_iteration_pagerank(g, {.eps = 0.2, .tolerance = 1e-9}));
+  }
+}
+BENCHMARK(BM_PowerIterationPageRank)->Range(1 << 10, 1 << 14)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TriangleCount(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(23);
+  const auto g = gnp(n, 16.0 / n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_triangles(g));
+  }
+}
+BENCHMARK(BM_TriangleCount)->Range(1 << 10, 1 << 15)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TriangleCountDense(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(24);
+  const auto g = gnp(n, 0.5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_triangles(g));
+  }
+}
+BENCHMARK(BM_TriangleCountDense)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OpenTriadCount(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(25);
+  const auto g = gnp(n, 8.0 / n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_open_triads(g));
+  }
+}
+BENCHMARK(BM_OpenTriadCount)->Range(1 << 10, 1 << 14)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Experiment E7 (Corollary 2): message-round tradeoff for triangle
+// enumeration.
+//
+// Paper claim: any algorithm that enumerates all triangles within the
+// optimal O~(n^2/k^{5/3}) rounds must exchange Omega~(n^2 k^{1/3})
+// messages in total — in particular, it cannot funnel the input to one
+// machine (which would need only O(m) messages but many more rounds).
+// We measure TriPartition's total messages/bits as k grows: messages
+// *increase* with k (~k^{1/3}, each edge is replicated to k^{1/3}
+// triplet machines) while rounds decrease — the tradeoff in action.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/triangles.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace km;
+
+constexpr std::size_t kN = 500;
+
+const Graph& dense_graph() {
+  static const Graph g = [] {
+    Rng rng(505);
+    return gnp(kN, 0.5, rng);
+  }();
+  return g;
+}
+
+void BM_MessageTradeoff(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Graph& g = dense_graph();
+  const std::uint64_t B = EngineConfig::default_bandwidth(kN);
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = B, .seed = 9});
+    Rng prng(23 + k);
+    const auto part = VertexPartition::random(kN, k, prng);
+    TriangleConfig cfg;
+    cfg.record_triples = false;
+    metrics = distributed_triangles(g, part, engine, cfg).metrics;
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  state.counters["messages"] = static_cast<double>(metrics.messages);
+  state.counters["total_bits"] = static_cast<double>(metrics.bits);
+  state.counters["msg_lb"] = triangle_message_lower_bound(kN, k);
+  auto& t = bench::SeriesTable::instance();
+  t.add("triangle/messages (total)", static_cast<double>(k),
+        static_cast<double>(metrics.messages));
+  t.add("triangle/rounds", static_cast<double>(k),
+        static_cast<double>(metrics.rounds));
+}
+
+BENCHMARK(BM_MessageTradeoff)->Arg(8)->Arg(27)->Arg(64)->Arg(125)->Arg(216)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+struct RegisterExpectations {
+  RegisterExpectations() {
+    auto& t = bench::SeriesTable::instance();
+    // Messages grow ~k^{1/3} (edge replication onto triplet machines)
+    // while rounds fall ~k^{5/3}: the Corollary 2 tradeoff.
+    t.expect_slope("triangle/messages (total)", 1.0 / 3.0);
+    t.expect_slope("triangle/rounds", -5.0 / 3.0);
+  }
+} register_expectations;
+
+}  // namespace
+
+KM_BENCH_MAIN("k machines")

@@ -1,0 +1,121 @@
+// Experiment E1/E2 (Theorem 4 vs Klauck et al. [33]).
+//
+// Paper claim: PageRank approximation runs in O~(n/k^2) rounds — a
+// superlinear-in-k improvement over the previous O~(n/k) bound.  We run
+// Algorithm 1 and the naive baseline for fixed n and growing k on
+//   (a) a sparse G(n,p) graph (uniform degrees: both algorithms enjoy
+//       balanced communication; rounds fall like ~k^-2), and
+//   (b) a star graph (the Section 3.1 hot spot: the baseline's center
+//       machine emits ~n distinct messages per iteration, Algorithm 1's
+//       heavy-vertex path emits at most k-1).
+// Expected shape: new algorithm's series falls ~k^{-2}; the baseline
+// stays near ~k^{-1} on the star; the gap grows with k.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/pagerank.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace km;
+
+constexpr std::size_t kN = 4000;
+constexpr std::uint64_t kBandwidth = 64;
+const PageRankConfig kConfig{.eps = 0.2, .c = 4.0};
+
+Digraph sparse_graph() {
+  Rng rng(101);
+  return Digraph::from_undirected(gnp(kN, 8.0 / kN, rng));
+}
+
+Digraph star() { return Digraph::from_undirected(star_graph(kN)); }
+
+void run_case(benchmark::State& state, const Digraph& g, bool baseline,
+              const char* series) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Metrics metrics;
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = kBandwidth, .seed = 7});
+    Rng prng(11 + k);
+    const auto part = VertexPartition::random(g.num_vertices(), k, prng);
+    const auto res = baseline
+                         ? distributed_pagerank_baseline(g, part, engine,
+                                                         kConfig)
+                         : distributed_pagerank(g, part, engine, kConfig);
+    metrics = res.metrics;
+    iterations = res.iterations;
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  state.counters["messages"] = static_cast<double>(metrics.messages);
+  state.counters["walk_iters"] = static_cast<double>(iterations);
+  state.counters["max_recv_bits"] =
+      static_cast<double>(metrics.max_recv_bits());
+  bench::SeriesTable::instance().add(series, static_cast<double>(k),
+                                     static_cast<double>(metrics.rounds));
+}
+
+void BM_PageRank_Gnp(benchmark::State& state) {
+  static const Digraph g = sparse_graph();
+  run_case(state, g, false, "pagerank/gnp/algorithm1 (rounds)");
+}
+
+void BM_PageRankBaseline_Gnp(benchmark::State& state) {
+  static const Digraph g = sparse_graph();
+  run_case(state, g, true, "pagerank/gnp/baseline (rounds)");
+}
+
+void BM_PageRank_Star(benchmark::State& state) {
+  static const Digraph g = star();
+  run_case(state, g, false, "pagerank/star/algorithm1 (rounds)");
+}
+
+void BM_PageRankBaseline_Star(benchmark::State& state) {
+  static const Digraph g = star();
+  run_case(state, g, true, "pagerank/star/baseline (rounds)");
+}
+
+BENCHMARK(BM_PageRank_Gnp)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRankBaseline_Gnp)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRank_Star)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRankBaseline_Star)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// The second axis of Theorem 4: at fixed k, rounds grow ~linearly in n.
+void BM_PageRank_NScaling(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t k = 16;
+  Rng grng(747 + n);
+  const Digraph g = Digraph::from_undirected(gnp(n, 8.0 / static_cast<double>(n), grng));
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = kBandwidth, .seed = 8});
+    Rng prng(12 + n);
+    const auto part = VertexPartition::random(n, k, prng);
+    metrics = distributed_pagerank(g, part, engine, kConfig).metrics;
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  bench::SeriesTable::instance().add("pagerank/gnp/rounds-vs-n (k=16)",
+                                     static_cast<double>(n),
+                                     static_cast<double>(metrics.rounds));
+}
+BENCHMARK(BM_PageRank_NScaling)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+struct RegisterExpectations {
+  RegisterExpectations() {
+    auto& t = bench::SeriesTable::instance();
+    t.expect_slope("pagerank/gnp/algorithm1 (rounds)", -2.0);
+    t.expect_slope("pagerank/star/algorithm1 (rounds)", -2.0);
+    t.expect_slope("pagerank/star/baseline (rounds)", -1.0);
+    t.expect_slope("pagerank/gnp/rounds-vs-n (k=16)", 1.0);
+  }
+} register_expectations;
+
+}  // namespace
+
+KM_BENCH_MAIN("k machines")

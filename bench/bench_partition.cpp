@@ -1,0 +1,69 @@
+// Experiment E10 (Section 1.1 + footnote 3): input partitions.
+//
+// Paper claims: (a) under the random vertex partition every machine is
+// home to Theta~(n/k) vertices whp — we measure the max/mean load
+// imbalance as k grows; (b) a random *edge* partition can be converted
+// to RVP knowledge in O~(m/k^2 + n/k) rounds — we measure the
+// conversion's rounds, which should fall ~k^{-2} while m/k^2 dominates.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/conversion.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace km;
+
+void BM_RvpBalance(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t n = 1 << 20;
+  double imbalance = 0.0;
+  for (auto _ : state) {
+    Rng rng(16 + k);
+    const auto p = VertexPartition::random(n, k, rng);
+    imbalance = p.imbalance();
+  }
+  state.counters["imbalance"] = imbalance;
+  bench::SeriesTable::instance().add("partition/rvp-imbalance",
+                                     static_cast<double>(k), imbalance);
+}
+BENCHMARK(BM_RvpBalance)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_RepToRvpConversion(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t n = 2000;
+  static const Graph g = [] {
+    Rng rng(808);
+    return gnp(n, 0.05, rng);  // m ~ 100k
+  }();
+  Metrics metrics;
+  for (auto _ : state) {
+    Rng prng(17 + k);
+    const auto vp = VertexPartition::random(n, k, prng);
+    const auto ep = EdgePartition::random(g.num_edges(), k, prng);
+    Engine engine(k, {.bandwidth_bits = 64, .seed = 18});
+    metrics = convert_rep_to_rvp(g, ep, vp, engine).metrics;
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  state.counters["messages"] = static_cast<double>(metrics.messages);
+  bench::SeriesTable::instance().add("partition/rep-to-rvp (rounds)",
+                                     static_cast<double>(k),
+                                     static_cast<double>(metrics.rounds));
+}
+BENCHMARK(BM_RepToRvpConversion)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+struct RegisterExpectations {
+  RegisterExpectations() {
+    auto& t = bench::SeriesTable::instance();
+    // Imbalance grows slowly (sqrt(k log k / n) deviations); slope ~ 0.
+    t.expect_slope("partition/rvp-imbalance", 0.0);
+    t.expect_slope("partition/rep-to-rvp (rounds)", -2.0);
+  }
+} register_expectations;
+
+}  // namespace
+
+KM_BENCH_MAIN("k machines")

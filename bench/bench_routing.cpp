@@ -1,0 +1,118 @@
+// Experiment E9 (Lemma 13): random routing in the complete network.
+//
+// Paper claim: if every machine sources O(x) messages with uniformly
+// random destinations, direct routing finishes in O((x log x)/k) rounds
+// whp — per-link loads concentrate at x/k.  We sweep x and k, measure
+// the realized rounds, and compare against x/k (linear in x, inverse in
+// k).  A second benchmark shows Valiant two-hop routing rescuing an
+// adversarially skewed batch (all messages to one destination).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "sim/routing.hpp"
+
+namespace {
+
+using namespace km;
+
+constexpr std::uint64_t kBandwidth = 64;
+
+Message make_msg(std::uint32_t dst, std::uint64_t value) {
+  Message m;
+  m.dst = dst;
+  m.tag = 1;
+  Writer w;
+  w.put_varint(value);
+  m.payload = w.take();
+  return m;
+}
+
+void BM_RandomDestinations(benchmark::State& state) {
+  const auto x = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::size_t kMachines = 16;
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(kMachines, {.bandwidth_bits = kBandwidth, .seed = 12});
+    metrics = engine.run([&](MachineContext& ctx) {
+      std::vector<Message> out;
+      out.reserve(x);
+      for (std::uint64_t i = 0; i < x; ++i) {
+        out.push_back(make_msg(
+            static_cast<std::uint32_t>(ctx.rng().below(kMachines)), i));
+      }
+      route_direct(ctx, std::move(out));
+    });
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  state.counters["x_over_k"] = static_cast<double>(x) / kMachines;
+  bench::SeriesTable::instance().add("routing/random-dest (rounds vs x)",
+                                     static_cast<double>(x),
+                                     static_cast<double>(metrics.rounds));
+}
+BENCHMARK(BM_RandomDestinations)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_RandomDestinationsVsK(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t x = 8192;
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = kBandwidth, .seed = 13});
+    metrics = engine.run([&](MachineContext& ctx) {
+      std::vector<Message> out;
+      out.reserve(x);
+      for (std::uint64_t i = 0; i < x; ++i) {
+        out.push_back(
+            make_msg(static_cast<std::uint32_t>(ctx.rng().below(k)), i));
+      }
+      route_direct(ctx, std::move(out));
+    });
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  bench::SeriesTable::instance().add("routing/random-dest (rounds vs k)",
+                                     static_cast<double>(k),
+                                     static_cast<double>(metrics.rounds));
+}
+BENCHMARK(BM_RandomDestinationsVsK)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_SkewedDirectVsTwoHop(benchmark::State& state) {
+  // All of machine 0's messages target machine 1.
+  const bool two_hop = state.range(0) != 0;
+  constexpr std::size_t kMachines = 16;
+  constexpr std::uint64_t x = 4096;
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(kMachines, {.bandwidth_bits = kBandwidth, .seed = 14});
+    metrics = engine.run([&](MachineContext& ctx) {
+      std::vector<Message> out;
+      if (ctx.id() == 0) {
+        for (std::uint64_t i = 0; i < x; ++i) out.push_back(make_msg(1, i));
+      }
+      if (two_hop) {
+        route_via_random_intermediate(ctx, std::move(out));
+      } else {
+        route_direct(ctx, std::move(out));
+      }
+    });
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  bench::SeriesTable::instance().add(
+      two_hop ? "routing/skewed two-hop (rounds)"
+              : "routing/skewed direct (rounds)",
+      1.0, static_cast<double>(metrics.rounds));
+}
+BENCHMARK(BM_SkewedDirectVsTwoHop)->Arg(0)->Arg(1)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+struct RegisterExpectations {
+  RegisterExpectations() {
+    auto& t = bench::SeriesTable::instance();
+    t.expect_slope("routing/random-dest (rounds vs x)", 1.0);
+    t.expect_slope("routing/random-dest (rounds vs k)", -1.0);
+  }
+} register_expectations;
+
+}  // namespace
+
+KM_BENCH_MAIN("batch size x / machines k")

@@ -1,0 +1,61 @@
+// Experiment E8 (Section 1.3): distributed sorting.
+//
+// Paper claim: the General Lower Bound Theorem yields Omega~(n/k^2)
+// rounds for sorting under a random input distribution (machine i must
+// output the i-th order-statistic block), matched by an O~(n/k^2)-round
+// sample-sort.  We sweep k at fixed n and print measured rounds next to
+// the theorem's bound; both series should fall ~k^{-2}.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/sorting.hpp"
+
+namespace {
+
+using namespace km;
+
+constexpr std::size_t kKeys = 200000;
+constexpr std::uint64_t kBandwidth = 64;
+
+std::vector<std::uint64_t> keys() {
+  static const std::vector<std::uint64_t> ks = [] {
+    Rng rng(707);
+    std::vector<std::uint64_t> v(kKeys);
+    for (auto& x : v) x = rng.next();
+    return v;
+  }();
+  return ks;
+}
+
+void BM_SampleSort(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto input = keys();
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = kBandwidth, .seed = 15});
+    metrics = distributed_sample_sort(input, engine).metrics;
+  }
+  const auto lb = sorting_lower_bound(kKeys, k, kBandwidth);
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  state.counters["lb_rounds"] = lb.rounds();
+  state.counters["messages"] = static_cast<double>(metrics.messages);
+  auto& t = bench::SeriesTable::instance();
+  t.add("sorting/measured (rounds)", static_cast<double>(k),
+        static_cast<double>(metrics.rounds));
+  t.add("sorting/theorem-LB (rounds)", static_cast<double>(k), lb.rounds());
+}
+BENCHMARK(BM_SampleSort)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+struct RegisterExpectations {
+  RegisterExpectations() {
+    auto& t = bench::SeriesTable::instance();
+    t.expect_slope("sorting/measured (rounds)", -2.0);
+    t.expect_slope("sorting/theorem-LB (rounds)", -2.0);
+  }
+} register_expectations;
+
+}  // namespace
+
+KM_BENCH_MAIN("k machines")

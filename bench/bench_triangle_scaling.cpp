@@ -1,0 +1,121 @@
+// Experiment E4/E11 (Theorem 5 vs Klauck et al. [33]).
+//
+// Paper claim: triangle enumeration runs in O~(m/k^{5/3} + n/k^{4/3})
+// rounds.  We run TriPartition and the broadcast baseline for fixed
+// input and k in {8, 27, 64, 125} (perfect cubes exercise the full color
+// grid; intermediate values work too).  Expected shape: rounds fall
+// ~k^{-5/3} for TriPartition vs ~k^{-1} for the baseline; open-triad
+// enumeration (Section 1.2) tracks the same curve.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/triangles.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace km;
+
+constexpr std::size_t kN = 700;
+constexpr double kP = 0.5;  // the lower bound's G(n,1/2) regime
+constexpr std::uint64_t kBandwidth = 256;
+
+const Graph& dense_graph() {
+  static const Graph g = [] {
+    Rng rng(202);
+    return gnp(kN, kP, rng);
+  }();
+  return g;
+}
+
+void run_case(benchmark::State& state, bool baseline, TriadMode mode,
+              const char* series) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Graph& g = dense_graph();
+  Metrics metrics;
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = kBandwidth, .seed = 3});
+    Rng prng(17 + k);
+    const auto part = VertexPartition::random(g.num_vertices(), k, prng);
+    TriangleConfig cfg;
+    cfg.mode = mode;
+    cfg.record_triples = false;
+    const auto res = baseline
+                         ? distributed_triangles_baseline(g, part, engine, cfg)
+                         : distributed_triangles(g, part, engine, cfg);
+    metrics = res.metrics;
+    total = res.total;
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  state.counters["messages"] = static_cast<double>(metrics.messages);
+  state.counters["found"] = static_cast<double>(total);
+  state.counters["ub_predicted"] = triangle_upper_bound_rounds(
+      g.num_vertices(), g.num_edges(), k, kBandwidth);
+  bench::SeriesTable::instance().add(series, static_cast<double>(k),
+                                     static_cast<double>(metrics.rounds));
+}
+
+void BM_TriPartition(benchmark::State& state) {
+  run_case(state, false, TriadMode::kTriangles,
+           "triangles/gnp0.5/tripartition (rounds)");
+}
+
+void BM_Baseline(benchmark::State& state) {
+  run_case(state, true, TriadMode::kTriangles,
+           "triangles/gnp0.5/baseline (rounds)");
+}
+
+void BM_OpenTriads(benchmark::State& state) {
+  run_case(state, false, TriadMode::kOpenTriads,
+           "triads/gnp0.5/tripartition (rounds)");
+}
+
+BENCHMARK(BM_TriPartition)->Arg(8)->Arg(27)->Arg(64)->Arg(125)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+// The baseline replicates the whole graph on every machine, so its
+// simulation cost grows with k; two points suffice to place its ~k^{-1}
+// curve against TriPartition's ~k^{-5/3}.
+BENCHMARK(BM_Baseline)->Arg(8)->Arg(27)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OpenTriads)->Arg(8)->Arg(27)->Arg(64)->Arg(125)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// The second axis of Theorem 5: at fixed k, rounds on G(n,1/2) grow
+// ~m ~ n^2 (slope +2 in n).
+void BM_TriPartition_NScaling(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t k = 27;
+  Rng grng(848 + n);
+  const Graph g = gnp(n, kP, grng);
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = kBandwidth, .seed = 4});
+    Rng prng(18 + n);
+    const auto part = VertexPartition::random(n, k, prng);
+    TriangleConfig cfg;
+    cfg.record_triples = false;
+    metrics = distributed_triangles(g, part, engine, cfg).metrics;
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  bench::SeriesTable::instance().add("triangles/gnp0.5/rounds-vs-n (k=27)",
+                                     static_cast<double>(n),
+                                     static_cast<double>(metrics.rounds));
+}
+BENCHMARK(BM_TriPartition_NScaling)->Arg(300)->Arg(420)->Arg(600)->Arg(840)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+struct RegisterExpectations {
+  RegisterExpectations() {
+    auto& t = bench::SeriesTable::instance();
+    t.expect_slope("triangles/gnp0.5/tripartition (rounds)", -5.0 / 3.0);
+    t.expect_slope("triangles/gnp0.5/baseline (rounds)", -1.0);
+    t.expect_slope("triads/gnp0.5/tripartition (rounds)", -5.0 / 3.0);
+    t.expect_slope("triangles/gnp0.5/rounds-vs-n (k=27)", 2.0);
+  }
+} register_expectations;
+
+}  // namespace
+
+KM_BENCH_MAIN("k machines")

@@ -1,0 +1,57 @@
+// Distributed sorting demo (Section 1.3 of the paper): n keys scattered
+// randomly over k machines are sorted so that machine i ends up with the
+// i-th block of order statistics, in O~(n/k^2) rounds — matching the
+// General Lower Bound Theorem's Omega~(n/k^2).
+//
+// Usage: distributed_sort [--n=100000] [--k=16] [--seed=5]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/sorting.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace km;
+  const Options opts(argc, argv);
+  const std::size_t n = opts.get_uint("n", 100000);
+  const std::size_t k = opts.get_uint("k", 16);
+  const std::uint64_t seed = opts.get_uint("seed", 5);
+
+  Rng rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& key : keys) key = rng.next();
+
+  const std::uint64_t B = EngineConfig::default_bandwidth(n);
+  Engine engine(k, {.bandwidth_bits = B, .seed = seed + 1});
+  const auto result = distributed_sample_sort(keys, engine);
+
+  // Verify: concatenated blocks equal the globally sorted sequence.
+  std::vector<std::uint64_t> merged;
+  merged.reserve(n);
+  for (const auto& block : result.blocks) {
+    merged.insert(merged.end(), block.begin(), block.end());
+  }
+  std::sort(keys.begin(), keys.end());
+  const bool ok = merged == keys;
+
+  std::printf("sorted %zu keys over %zu machines: %s\n", n, k,
+              ok ? "exact order statistics verified" : "MISMATCH");
+  for (std::size_t i = 0; i < k; ++i) {
+    std::printf("  machine %2zu holds ranks [%zu, %zu)\n", i,
+                result.offsets[i], result.offsets[i + 1]);
+    if (i == 2 && k > 4) {
+      std::printf("  ...\n");
+      break;
+    }
+  }
+  const auto lb = sorting_lower_bound(n, k, B);
+  std::printf("rounds: %llu measured, %.2f lower bound (Theorem 1 "
+              "instance), %llu messages\n",
+              static_cast<unsigned long long>(result.metrics.rounds),
+              lb.rounds(),
+              static_cast<unsigned long long>(result.metrics.messages));
+  std::printf("derivation: %s\n", lb.derivation.c_str());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/mathx.hpp"
+
+namespace km {
+
+namespace {
+double log2n(std::size_t n) {
+  return std::max(1.0, std::log2(static_cast<double>(std::max<std::size_t>(n, 2))));
+}
+}  // namespace
+
+GeneralLowerBound pagerank_lower_bound(std::size_t n, std::size_t k,
+                                       std::uint64_t bandwidth_bits) {
+  GeneralLowerBound lb;
+  const double q = static_cast<double>(n - 1) / 4.0;  // m/4 important edges
+  lb.entropy_bits = q;
+  lb.info_cost_bits = q / static_cast<double>(k);
+  lb.bandwidth_bits = static_cast<double>(bandwidth_bits);
+  lb.k = static_cast<double>(k);
+  std::ostringstream os;
+  os << "Theorem 2: H[Z]=m/4=" << q << " bits (edge-direction bits of H); "
+     << "some machine outputs >= m/4k PageRank values of V, each revealing "
+     << "one bit => IC=" << lb.info_cost_bits << "; T >= IC/(Bk) = "
+     << lb.rounds() << " ~ Omega(n/Bk^2)";
+  lb.derivation = os.str();
+  return lb;
+}
+
+GeneralLowerBound triangle_lower_bound_from_t(std::size_t n, double t,
+                                              std::size_t k,
+                                              std::uint64_t bandwidth_bits) {
+  GeneralLowerBound lb;
+  lb.entropy_bits = binomial_coeff(n, 2);  // C(n,2) edge bits
+  // Lemma 11: a machine outputting t/k triangles learned at least
+  // min_edges_for_triangles(t/k) edges it did not know.
+  lb.info_cost_bits = min_edges_for_triangles(t / static_cast<double>(k));
+  lb.bandwidth_bits = static_cast<double>(bandwidth_bits);
+  lb.k = static_cast<double>(k);
+  std::ostringstream os;
+  os << "Theorem 3: H[Z]=C(n,2)=" << lb.entropy_bits
+     << " bits; t=" << t << " triangles, some machine outputs t/k, "
+     << "Rivin bound => IC=Omega((t/k)^{2/3})=" << lb.info_cost_bits
+     << "; T >= IC/(Bk) = " << lb.rounds() << " ~ Omega(n^2/Bk^{5/3})";
+  lb.derivation = os.str();
+  return lb;
+}
+
+GeneralLowerBound triangle_lower_bound(std::size_t n, std::size_t k,
+                                       std::uint64_t bandwidth_bits) {
+  // G(n,1/2) has t = C(n,3)/8 triangles in expectation (Lemma 9 uses
+  // t = Theta(C(n,3))).
+  const double t = binomial_coeff(n, 3) / 8.0;
+  return triangle_lower_bound_from_t(n, t, k, bandwidth_bits);
+}
+
+GeneralLowerBound congested_clique_triangle_lower_bound(
+    std::size_t n, std::uint64_t bandwidth_bits) {
+  GeneralLowerBound lb = triangle_lower_bound(n, n, bandwidth_bits);
+  std::ostringstream os;
+  os << "Corollary 1 (k=n): " << lb.derivation
+     << "; with k=n this is Omega(n^{1/3}/B) rounds";
+  lb.derivation = os.str();
+  return lb;
+}
+
+double triangle_message_lower_bound(std::size_t n, std::size_t k) {
+  // Corollary 2: every machine must receive Omega~(n^2/k^{2/3}) bits;
+  // with O(log n)-bit messages that is Omega~(n^2 k^{1/3}) messages total.
+  const double nn = static_cast<double>(n);
+  return nn * nn * std::cbrt(static_cast<double>(k)) / log2n(n);
+}
+
+GeneralLowerBound sorting_lower_bound(std::size_t n, std::size_t k,
+                                      std::uint64_t bandwidth_bits) {
+  GeneralLowerBound lb;
+  const double out_bits =
+      static_cast<double>(n) / static_cast<double>(k) * log2n(n);
+  lb.entropy_bits = static_cast<double>(n) * log2n(n);
+  lb.info_cost_bits = out_bits;
+  lb.bandwidth_bits = static_cast<double>(bandwidth_bits);
+  lb.k = static_cast<double>(k);
+  std::ostringstream os;
+  os << "Sorting (Sec 1.3): machine i outputs its n/k order statistics "
+     << "(~log n bits each) => IC=" << out_bits << "; T >= IC/(Bk) = "
+     << lb.rounds() << " ~ Omega(n/Bk^2) (up to log factors)";
+  lb.derivation = os.str();
+  return lb;
+}
+
+GeneralLowerBound mst_lower_bound(std::size_t n, std::size_t k,
+                                  std::uint64_t bandwidth_bits) {
+  GeneralLowerBound lb;
+  const double out_bits =
+      static_cast<double>(n) / static_cast<double>(k) * log2n(n);
+  lb.entropy_bits = static_cast<double>(n) * log2n(n);
+  lb.info_cost_bits = out_bits;
+  lb.bandwidth_bits = static_cast<double>(bandwidth_bits);
+  lb.k = static_cast<double>(k);
+  std::ostringstream os;
+  os << "MST (Sec 1.3, complete graph with random weights): some machine "
+     << "outputs n/k MST edges (~log n surprisal bits each) => IC="
+     << out_bits << "; T >= IC/(Bk) = " << lb.rounds()
+     << " ~ Omega(n/Bk^2)";
+  lb.derivation = os.str();
+  return lb;
+}
+
+double pagerank_upper_bound_rounds(std::size_t n, std::size_t k,
+                                   std::uint64_t bandwidth_bits) {
+  // Theorem 4: O~(n/k^2).  Per iteration each machine sources
+  // O~(n log n / k) messages of ~log n bits spread over k links, over
+  // O(log n / eps) iterations.
+  const double nn = static_cast<double>(n);
+  const double kk = static_cast<double>(k);
+  const double L = log2n(n);
+  return nn * L * L * L / (kk * kk * static_cast<double>(bandwidth_bits));
+}
+
+double triangle_upper_bound_rounds(std::size_t n, std::size_t m,
+                                   std::size_t k,
+                                   std::uint64_t bandwidth_bits) {
+  // Theorem 5: O~(m/k^{5/3} + n/k^{4/3}).
+  const double mm = static_cast<double>(m);
+  const double nn = static_cast<double>(n);
+  const double kk = static_cast<double>(k);
+  const double L = log2n(n);
+  return (mm / std::pow(kk, 5.0 / 3.0) + nn / std::pow(kk, 4.0 / 3.0)) * L *
+         L / static_cast<double>(bandwidth_bits);
+}
+
+}  // namespace km

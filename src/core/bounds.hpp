@@ -1,0 +1,94 @@
+// The General Lower Bound Theorem (Theorem 1) and its instantiations.
+//
+// Theorem 1 relates round complexity to information cost: if on a large
+// set of "good" inputs some machine's output raises its knowledge of a
+// random variable Z by IC bits (Premises (1) and (2)), then
+//     T = Omega(IC / (B k))   rounds.
+// The proof counts transcript entropy: T rounds over k-1 links of B bits
+// admit at most 2^{(B+1)(k-1)T} transcripts (Lemma 3).
+//
+// This header provides the theorem as an evaluatable object plus the
+// paper's concrete instantiations:
+//   - PageRank (Theorem 2):      IC = m/4k = Theta(n/k)  -> Omega~(n/Bk^2)
+//   - Triangles (Theorem 3):     IC = Theta((t/k)^{2/3}) -> Omega~(m/Bk^{5/3})
+//   - Congested clique (Cor 1):  k = n                   -> Omega~(n^{1/3}/B)
+//   - Message tradeoff (Cor 2):  round-optimal triangle algorithms move
+//     Omega~(n^2 k^{1/3}) messages in total
+//   - Sorting and MST (Sec 1.3): IC = Theta~(n/k)        -> Omega~(n/Bk^2)
+// All functions return both the bound and a human-readable derivation so
+// the benchmark harness can print bound vs measurement side by side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace km {
+
+/// Theorem 1, evaluatable: T >= IC / (B k) (constants dropped; the
+/// benches compare shapes, not constants).
+struct GeneralLowerBound {
+  double entropy_bits = 0.0;    ///< H[Z]
+  double info_cost_bits = 0.0;  ///< IC
+  double bandwidth_bits = 1.0;  ///< B
+  double k = 1.0;
+  std::string derivation;
+
+  double rounds() const noexcept {
+    return info_cost_bits / (bandwidth_bits * k);
+  }
+
+  /// Max transcript entropy admissible in T rounds (Lemma 3):
+  /// (B+1) (k-1) T bits; the theorem needs this >= IC - o(IC).
+  double transcript_entropy_bits(double rounds_budget) const noexcept {
+    return (bandwidth_bits + 1.0) * (k - 1.0) * rounds_budget;
+  }
+};
+
+/// Theorem 2: PageRank on the gadget graph H (n = 4q+1 vertices).
+/// Z = the q edge-direction bits paired with the v_i identities;
+/// H[Z] = q = m/4 bits, IC = q/k.
+GeneralLowerBound pagerank_lower_bound(std::size_t n, std::size_t k,
+                                       std::uint64_t bandwidth_bits);
+
+/// Theorem 3: triangle enumeration on G(n,1/2).
+/// Z = the characteristic edge vector, H[Z] = C(n,2) bits;
+/// a machine outputting t/k of the t = Theta(C(n,3)) triangles must have
+/// learned Omega((t/k)^{2/3}) edge bits (Rivin/Kruskal-Katona).
+GeneralLowerBound triangle_lower_bound(std::size_t n, std::size_t k,
+                                       std::uint64_t bandwidth_bits);
+
+/// Same bound parameterized by the actual triangle count t (the paper's
+/// Omega~((t/k)^{2/3}/k) form, valid for sparse graphs too).
+GeneralLowerBound triangle_lower_bound_from_t(std::size_t n, double t,
+                                              std::size_t k,
+                                              std::uint64_t bandwidth_bits);
+
+/// Corollary 1: congested clique (k = n) triangle enumeration.
+GeneralLowerBound congested_clique_triangle_lower_bound(
+    std::size_t n, std::uint64_t bandwidth_bits);
+
+/// Corollary 2: total message complexity of any algorithm that
+/// enumerates triangles in the optimal O~(n^2/k^{5/3}) rounds:
+/// Omega~(n^2 k^{1/3}) messages.
+double triangle_message_lower_bound(std::size_t n, std::size_t k);
+
+/// Section 1.3: distributed sorting (machine i must output the i-th
+/// order-statistic block).  IC = Theta((n/k) log n) output bits.
+GeneralLowerBound sorting_lower_bound(std::size_t n, std::size_t k,
+                                      std::uint64_t bandwidth_bits);
+
+/// Section 1.3: MST on a complete graph with random edge weights (each
+/// machine outputs ~n/k MST edges, each carrying Theta(log n) bits).
+GeneralLowerBound mst_lower_bound(std::size_t n, std::size_t k,
+                                  std::uint64_t bandwidth_bits);
+
+/// Upper-bound predictions (algorithm side), for bound-vs-achieved
+/// tables: rounds predicted by Theorem 4 / Theorem 5 shapes with unit
+/// constants and message size ~ log2(n) bits.
+double pagerank_upper_bound_rounds(std::size_t n, std::size_t k,
+                                   std::uint64_t bandwidth_bits);
+double triangle_upper_bound_rounds(std::size_t n, std::size_t m,
+                                   std::size_t k,
+                                   std::uint64_t bandwidth_bits);
+
+}  // namespace km

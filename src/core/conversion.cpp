@@ -1,0 +1,75 @@
+#include "core/conversion.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace km {
+
+namespace {
+constexpr std::uint16_t kEdgeTag = 1;
+}
+
+RepToRvpResult convert_rep_to_rvp(const Graph& g,
+                                  const EdgePartition& edge_partition,
+                                  const VertexPartition& vertex_partition,
+                                  Engine& engine) {
+  const std::size_t k = engine.k();
+  if (edge_partition.k() != k || vertex_partition.k() != k) {
+    throw std::invalid_argument("convert_rep_to_rvp: k mismatch");
+  }
+  const auto edges = g.edge_list();
+  if (edge_partition.m() != edges.size()) {
+    throw std::invalid_argument("convert_rep_to_rvp: edge count mismatch");
+  }
+
+  RepToRvpResult result;
+  result.local_edges.assign(k, {});
+
+  const Program program = [&](MachineContext& ctx) {
+    const std::size_t self = ctx.id();
+    auto& local = result.local_edges[self];
+
+    // Send every owned edge to the home machines of both endpoints.
+    for (const std::uint32_t e : edge_partition.owned(self)) {
+      const auto [u, v] = edges[e];
+      const std::uint32_t hu = vertex_partition.home(u);
+      const std::uint32_t hv = vertex_partition.home(v);
+      // Orientation (owned endpoint first) is fixed by the receiver.
+      if (hu == self) {
+        local.emplace_back(u, v);
+      } else {
+        Writer w;
+        w.put_varint(u);
+        w.put_varint(v);
+        ctx.send(hu, kEdgeTag, w);
+      }
+      if (hv == self) {
+        local.emplace_back(v, u);
+      } else if (hv != hu) {
+        Writer w;
+        w.put_varint(v);
+        w.put_varint(u);
+        ctx.send(hv, kEdgeTag, w);
+      } else {
+        // Both endpoints share a home: one message carries both roles.
+        // (hu == hv != self; the receiver will record both orientations.)
+      }
+    }
+
+    for (const Message& msg : ctx.exchange()) {
+      Reader r(msg.payload);
+      const auto a = static_cast<Vertex>(r.get_varint());
+      const auto b = static_cast<Vertex>(r.get_varint());
+      // a is an endpoint owned here (sender addressed us as home(a)).
+      local.emplace_back(a, b);
+      if (vertex_partition.home(b) == self) local.emplace_back(b, a);
+    }
+    std::sort(local.begin(), local.end());
+    local.erase(std::unique(local.begin(), local.end()), local.end());
+  };
+
+  result.metrics = engine.run(program);
+  return result;
+}
+
+}  // namespace km

@@ -1,0 +1,34 @@
+// Random-edge-partition to random-vertex-partition conversion.
+//
+// Footnote 3 of the paper: results transfer between the REP and RVP
+// models because the input can be re-partitioned in O~(m/k^2 + n/k)
+// rounds.  convert_rep_to_rvp() performs that transformation: every
+// machine forwards each of its edges to the home machines of both
+// endpoints (homes are hash-computable, so no lookups are needed).  The
+// result gives each machine exactly the incident-edge knowledge RVP
+// grants it.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/partition.hpp"
+
+namespace km {
+
+struct RepToRvpResult {
+  /// local_edges[i] = edges incident to machine i's vertices, as (u,v)
+  /// with u owned by machine i (edges with both endpoints owned appear
+  /// once per endpoint orientation), sorted.
+  std::vector<std::vector<Edge>> local_edges;
+  Metrics metrics;
+};
+
+RepToRvpResult convert_rep_to_rvp(const Graph& g,
+                                  const EdgePartition& edge_partition,
+                                  const VertexPartition& vertex_partition,
+                                  Engine& engine);
+
+}  // namespace km

@@ -1,0 +1,69 @@
+#include "core/info_cost.hpp"
+
+#include <algorithm>
+
+#include "graph/triangle_ref.hpp"
+#include "util/mathx.hpp"
+
+namespace km {
+
+std::vector<std::uint64_t> known_paths_per_machine(
+    const PageRankLowerBoundGraph& h, const VertexPartition& partition) {
+  std::vector<std::uint64_t> counts(partition.k(), 0);
+  for (std::size_t i = 0; i < h.q(); ++i) {
+    // Machine knows path i if it owns {x_i, t_i} or {u_i, v_i}: owning
+    // x_i or t_i reveals the important edge's direction from incident
+    // edges of that vertex only when paired with the index-identifying
+    // vertex (see proof of Lemma 5: cases (1) x_j & t_j, (2) u_j & v_j).
+    const auto hx = partition.home(h.x(i));
+    const auto hu = partition.home(h.u(i));
+    const auto ht = partition.home(h.t(i));
+    const auto hv = partition.home(h.v(i));
+    const bool via_xt = (hx == ht);
+    const bool via_uv = (hu == hv);
+    if (via_xt) ++counts[hx];
+    if (via_uv && !(via_xt && hu == hx)) ++counts[hu];  // avoid double count
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> known_edges_per_machine(
+    const Graph& g, const VertexPartition& partition) {
+  std::vector<std::uint64_t> counts(partition.k(), 0);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v : g.neighbors(u)) {
+      if (u >= v) continue;
+      const auto hu = partition.home(u);
+      const auto hv = partition.home(v);
+      ++counts[hu];
+      if (hv != hu) ++counts[hv];
+    }
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> local_triangles_per_machine(
+    const Graph& g, const VertexPartition& partition) {
+  std::vector<std::uint64_t> counts(partition.k(), 0);
+  for_each_triangle(g, [&](const Triangle& t) {
+    // A machine sees all three edges iff it owns >= 2 of the corners.
+    const auto h0 = partition.home(t[0]);
+    const auto h1 = partition.home(t[1]);
+    const auto h2 = partition.home(t[2]);
+    if (h0 == h1) ++counts[h0];
+    if (h1 == h2 && h1 != h0) ++counts[h1];
+    if (h0 == h2 && h0 != h1 && !(h1 == h2)) ++counts[h0];
+  });
+  return counts;
+}
+
+double triangle_output_information_bits(double t_out, double t_local) {
+  const double undetermined = std::max(0.0, t_out - t_local);
+  return min_edges_for_triangles(undetermined);
+}
+
+double pagerank_output_information_bits(double outputs, double paths_known) {
+  return std::max(0.0, outputs - paths_known);
+}
+
+}  // namespace km

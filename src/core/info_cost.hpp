@@ -1,0 +1,56 @@
+// Empirical information-cost accounting: the measurable counterparts of
+// the quantities in the lower-bound proofs (Sections 2.3 and 2.4).
+//
+// The General Lower Bound Theorem's premises are concentration statements
+// about what machines know *initially* under the random vertex partition.
+// This module measures those quantities on concrete sampled inputs so the
+// benches/tests can verify:
+//   - Lemma 5:  every machine initially knows O(n log n / k^2) weakly
+//     connected X-V paths of the gadget graph H;
+//   - Lemma 10: every machine initially knows O(n^2 log n / k) edges of
+//     G(n,1/2);
+//   - Lemma 11: t3 (locally visible triangles) is O~(n^3/k^{3/2}), so
+//     almost all of the t/k triangles a machine outputs are undetermined
+//     and cost Omega((t/k)^{2/3}) received edge-bits (Rivin bound);
+//   - the engine's recv_bits_per_machine is lower-bounded by the IC the
+//     theorem predicts, closing the loop between theory and simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/lb_graphs.hpp"
+#include "sim/partition.hpp"
+
+namespace km {
+
+/// Lemma 5: for each machine, the number of indices i whose weakly
+/// connected path (x_i, u_i, t_i, v_i) is revealed by the initial
+/// partition — i.e. the machine owns {x_i and t_i} or {u_i and v_i}
+/// (either pair exposes the edge direction *and* the matching v_i).
+std::vector<std::uint64_t> known_paths_per_machine(
+    const PageRankLowerBoundGraph& h, const VertexPartition& partition);
+
+/// Lemma 10: edges initially known per machine (an edge is known to a
+/// machine owning at least one endpoint).
+std::vector<std::uint64_t> known_edges_per_machine(
+    const Graph& g, const VertexPartition& partition);
+
+/// Lemma 11's t3: triangles fully visible to a machine initially (it
+/// knows all three edges, i.e. owns at least two of the corners).
+std::vector<std::uint64_t> local_triangles_per_machine(
+    const Graph& g, const VertexPartition& partition);
+
+/// Lemma 11's information cost for a machine that outputs `t_out`
+/// triangles of which `t_local` were locally visible:
+/// IC = min_edges_for_triangles(t_out - t_local) bits (0 if negative).
+double triangle_output_information_bits(double t_out, double t_local);
+
+/// PageRank surprisal accounting (Lemmas 7-8): with q = (n-1)/4 important
+/// edges, a machine that initially knows `paths_known` of them and
+/// outputs `outputs` PageRank values of V has surprisal drop
+/// >= outputs - paths_known bits.
+double pagerank_output_information_bits(double outputs, double paths_known);
+
+}  // namespace km

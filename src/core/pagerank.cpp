@@ -1,0 +1,214 @@
+#include "core/pagerank.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/mathx.hpp"
+
+namespace km {
+
+namespace {
+
+constexpr std::uint16_t kLightTag = 1;  ///< <count, dest:v>
+constexpr std::uint16_t kHeavyTag = 2;  ///< <count, src:u>
+
+struct MachineState {
+  std::vector<Vertex> owned;          // sorted (VertexPartition invariant)
+  std::vector<std::uint64_t> tokens;  // current tokens per owned vertex
+  std::vector<std::uint64_t> visits;  // psi per owned vertex
+
+  std::size_t local_index(Vertex v) const {
+    const auto it = std::lower_bound(owned.begin(), owned.end(), v);
+    if (it == owned.end() || *it != v) {
+      throw std::logic_error("pagerank: message for vertex not hosted here");
+    }
+    return static_cast<std::size_t>(it - owned.begin());
+  }
+};
+
+/// Deposits `count` tokens arriving at owned vertex v (visit + hold).
+void deposit(MachineState& st, Vertex v, std::uint64_t count) {
+  const std::size_t i = st.local_index(v);
+  st.tokens[i] += count;
+  st.visits[i] += count;
+}
+
+/// Spreads `count` tokens of remote vertex u uniformly over the locally
+/// hosted out-neighbors of u (Algorithm 1, lines 31-36).
+void spread_heavy(MachineState& st, const Digraph& g,
+                  const VertexPartition& part, std::size_t self, Rng& rng,
+                  Vertex u, std::uint64_t count) {
+  std::vector<Vertex> local_outs;
+  for (Vertex w : g.out_neighbors(u)) {
+    if (part.home(w) == self) local_outs.push_back(w);
+  }
+  if (local_outs.empty()) {
+    throw std::logic_error("pagerank: heavy tokens sent to machine hosting "
+                           "no out-neighbor of the source vertex");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    deposit(st, local_outs[rng.below(local_outs.size())], 1);
+  }
+}
+
+PageRankResult run_pagerank(const Digraph& g, const VertexPartition& part,
+                            Engine& engine, const PageRankConfig& config,
+                            bool heavy_path_enabled) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t k = engine.k();
+  if (part.n() != n || part.k() != k) {
+    throw std::invalid_argument("pagerank: partition does not match graph/k");
+  }
+  const auto tokens0 = static_cast<std::uint64_t>(
+      std::ceil(config.c * std::log(std::max<double>(2.0, static_cast<double>(n)))));
+  const std::size_t max_iters =
+      config.max_iterations
+          ? config.max_iterations
+          : static_cast<std::size_t>(
+                10.0 *
+                std::ceil(std::log(static_cast<double>(n) *
+                                   static_cast<double>(tokens0) + 2.0) /
+                          config.eps));
+
+  PageRankResult result;
+  result.estimates.assign(n, 0.0);
+  result.initial_tokens_per_vertex = tokens0;
+  std::vector<std::size_t> iterations_by_machine(k, 0);
+
+  const Program program = [&](MachineContext& ctx) {
+    const std::size_t self = ctx.id();
+    MachineState st;
+    st.owned = part.owned(self);
+    st.tokens.assign(st.owned.size(), tokens0);
+    st.visits.assign(st.owned.size(), tokens0);  // creation counts as visit
+
+    std::size_t iteration = 0;
+    while (iteration < max_iters) {
+      ++iteration;
+      // Terminate each token independently with probability eps (line 5).
+      for (auto& t : st.tokens) {
+        t -= ctx.rng().binomial(t, config.eps);
+      }
+
+      // Tokens deposited locally this iteration must only become active
+      // in the next one; stage them separately.
+      std::vector<std::pair<Vertex, std::uint64_t>> local_light;
+      std::vector<std::pair<Vertex, std::uint64_t>> local_heavy;
+
+      // alpha: per-destination-vertex counts for light vertices (line 8).
+      std::unordered_map<Vertex, std::uint64_t> alpha;
+      for (std::size_t i = 0; i < st.owned.size(); ++i) {
+        std::uint64_t t = st.tokens[i];
+        if (t == 0) continue;
+        const Vertex u = st.owned[i];
+        const auto outs = g.out_neighbors(u);
+        if (outs.empty()) {
+          st.tokens[i] = 0;  // dangling vertex: walks terminate here
+          continue;
+        }
+        const bool light = !heavy_path_enabled || t < k;
+        if (light) {
+          // Lines 9-16: route each token to a uniform out-neighbor,
+          // aggregated per destination vertex.
+          for (; t > 0; --t) {
+            const Vertex v = outs[ctx.rng().below(outs.size())];
+            ++alpha[v];
+          }
+        } else {
+          // Lines 18-27: heavy vertex; aggregate per destination machine.
+          // Sampling a uniform out-neighbor and binning by its home
+          // machine realizes exactly the (n_{1,u}/d_u, ..., n_{k,u}/d_u)
+          // distribution of line 23.
+          std::unordered_map<std::uint32_t, std::uint64_t> beta;
+          for (; t > 0; --t) {
+            const Vertex v = outs[ctx.rng().below(outs.size())];
+            ++beta[part.home(v)];
+          }
+          for (const auto& [machine, count] : beta) {
+            if (machine == self) {
+              local_heavy.emplace_back(u, count);
+            } else {
+              Writer w;
+              w.put_varint(u);
+              w.put_varint(count);
+              ctx.send(machine, kHeavyTag, w);
+            }
+          }
+        }
+        st.tokens[i] = 0;
+      }
+      for (const auto& [v, count] : alpha) {
+        const std::uint32_t machine = part.home(v);
+        if (machine == self) {
+          local_light.emplace_back(v, count);
+        } else {
+          Writer w;
+          w.put_varint(v);
+          w.put_varint(count);
+          ctx.send(machine, kLightTag, w);
+        }
+      }
+
+      // Superstep boundary: deliver all token messages.
+      for (const Message& msg : ctx.exchange()) {
+        Reader r(msg.payload);
+        if (msg.tag == kLightTag) {
+          const auto v = static_cast<Vertex>(r.get_varint());
+          deposit(st, v, r.get_varint());
+        } else if (msg.tag == kHeavyTag) {
+          const auto u = static_cast<Vertex>(r.get_varint());
+          spread_heavy(st, g, part, self, ctx.rng(), u, r.get_varint());
+        } else {
+          throw std::logic_error("pagerank: unexpected message tag");
+        }
+      }
+      for (const auto& [v, count] : local_light) deposit(st, v, count);
+      for (const auto& [u, count] : local_heavy) {
+        spread_heavy(st, g, part, self, ctx.rng(), u, count);
+      }
+
+      // Global termination check (costs one superstep of k-1 small
+      // messages per machine), amortized over several iterations: an
+      // iteration with no tokens anywhere sends no messages and is free.
+      const std::size_t interval =
+          std::max<std::size_t>(1, config.termination_check_interval);
+      if (iteration % interval == 0 || iteration == max_iters) {
+        std::uint64_t outstanding = 0;
+        for (auto t : st.tokens) outstanding += t;
+        if (ctx.all_reduce_sum(outstanding) == 0) break;
+      }
+    }
+
+    // Publish estimates: owned index ranges are disjoint across machines.
+    const double denom =
+        static_cast<double>(n) * static_cast<double>(tokens0);
+    for (std::size_t i = 0; i < st.owned.size(); ++i) {
+      result.estimates[st.owned[i]] =
+          config.eps * static_cast<double>(st.visits[i]) / denom;
+    }
+    iterations_by_machine[self] = iteration;
+  };
+
+  result.metrics = engine.run(program);
+  result.iterations = iterations_by_machine.empty() ? 0 : iterations_by_machine[0];
+  return result;
+}
+
+}  // namespace
+
+PageRankResult distributed_pagerank(const Digraph& g,
+                                    const VertexPartition& partition,
+                                    Engine& engine,
+                                    const PageRankConfig& config) {
+  return run_pagerank(g, partition, engine, config, true);
+}
+
+PageRankResult distributed_pagerank_baseline(const Digraph& g,
+                                             const VertexPartition& partition,
+                                             Engine& engine,
+                                             const PageRankConfig& config) {
+  return run_pagerank(g, partition, engine, config, false);
+}
+
+}  // namespace km

@@ -1,0 +1,46 @@
+// Distributed sorting in the k-machine model (Section 1.3).
+//
+// The paper uses sorting as a General-Lower-Bound-Theorem application:
+// with n elements randomly distributed over k machines and the i-th
+// machine required to end up holding the i-th block of order statistics,
+// the theorem gives Omega~(n/k^2) rounds, matched by an O~(n/k^2)-round
+// algorithm.  distributed_sample_sort() is that algorithm:
+//
+//   1. every machine sends a small random sample of its keys to machine 0;
+//   2. machine 0 picks k-1 splitters and broadcasts them;
+//   3. every machine partitions its keys by splitter and routes each
+//      bucket to its machine (balanced whp: O~(n/k^2) per link);
+//   4. machines exchange exact bucket counts and shuffle boundary keys so
+//      that machine i holds exactly ranks [i*n/k, (i+1)*n/k).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace km {
+
+struct SortConfig {
+  /// Samples per machine sent to the coordinator: factor * k * log2(n).
+  double sample_factor = 4.0;
+  std::uint64_t placement_seed = 0xBEEF;  ///< random input placement
+};
+
+struct SortResult {
+  /// blocks[i] = the keys machine i holds at the end, sorted ascending;
+  /// machine i holds exactly the global ranks [offsets[i], offsets[i+1]).
+  std::vector<std::vector<std::uint64_t>> blocks;
+  std::vector<std::size_t> offsets;  // k+1 entries
+  Metrics metrics;
+};
+
+/// Sorts `keys` (conceptually scattered uniformly at random over the k
+/// machines of `engine`) into exact per-machine order-statistic blocks.
+SortResult distributed_sample_sort(const std::vector<std::uint64_t>& keys,
+                                   Engine& engine,
+                                   const SortConfig& config = {});
+
+}  // namespace km

@@ -1,0 +1,72 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace km {
+
+Digraph Digraph::from_arcs(std::size_t n, std::vector<Edge> arcs) {
+  for (const auto& [u, v] : arcs) {
+    if (u >= n || v >= n) {
+      throw std::out_of_range("Digraph::from_arcs: vertex id out of range");
+    }
+  }
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  std::erase_if(arcs, [](const Edge& e) { return e.first == e.second; });
+
+  Digraph g;
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : arcs) {
+    ++g.out_offsets_[u + 1];
+    ++g.in_offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  }
+  g.out_adj_.resize(g.out_offsets_[n]);
+  g.in_adj_.resize(g.in_offsets_[n]);
+  std::vector<std::size_t> out_cur(g.out_offsets_.begin(),
+                                   g.out_offsets_.end() - 1);
+  std::vector<std::size_t> in_cur(g.in_offsets_.begin(),
+                                  g.in_offsets_.end() - 1);
+  for (const auto& [u, v] : arcs) {
+    g.out_adj_[out_cur[u]++] = v;
+    g.in_adj_[in_cur[v]++] = u;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(g.out_adj_.begin() + static_cast<std::ptrdiff_t>(g.out_offsets_[v]),
+              g.out_adj_.begin() + static_cast<std::ptrdiff_t>(g.out_offsets_[v + 1]));
+    std::sort(g.in_adj_.begin() + static_cast<std::ptrdiff_t>(g.in_offsets_[v]),
+              g.in_adj_.begin() + static_cast<std::ptrdiff_t>(g.in_offsets_[v + 1]));
+  }
+  return g;
+}
+
+Digraph Digraph::from_undirected(const Graph& g) {
+  std::vector<Edge> arcs;
+  arcs.reserve(2 * g.num_edges());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v : g.neighbors(u)) arcs.emplace_back(u, v);
+  }
+  return from_arcs(g.num_vertices(), std::move(arcs));
+}
+
+bool Digraph::has_arc(Vertex u, Vertex v) const noexcept {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  const auto ns = out_neighbors(u);
+  return std::binary_search(ns.begin(), ns.end(), v);
+}
+
+std::vector<Edge> Digraph::arc_list() const {
+  std::vector<Edge> arcs;
+  arcs.reserve(num_arcs());
+  for (Vertex u = 0; u < num_vertices(); ++u) {
+    for (Vertex v : out_neighbors(u)) arcs.emplace_back(u, v);
+  }
+  return arcs;
+}
+
+}  // namespace km

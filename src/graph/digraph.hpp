@@ -1,0 +1,60 @@
+// Directed graph in CSR form with both out- and in-adjacency.
+//
+// The PageRank machinery needs directed graphs (the lower-bound gadget H of
+// Figure 1 is directed).  Per Section 1.1, under the random vertex
+// partition the home machine of a vertex knows its incident edges; for the
+// PageRank algorithm (Algorithm 1, lines 33-35) the receiving machine must
+// recognize which of its hosted vertices are out-neighbors of a remote
+// vertex, so in-adjacency is materialized as well.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace km {
+
+/// Immutable directed simple graph (no self loops, no parallel arcs).
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Builds from an arc list (u -> v). Duplicate arcs and self loops drop.
+  static Digraph from_arcs(std::size_t n, std::vector<Edge> arcs);
+
+  /// Interprets an undirected graph as a digraph with both arc directions
+  /// (the random-walk view of an undirected graph).
+  static Digraph from_undirected(const Graph& g);
+
+  std::size_t num_vertices() const noexcept { return out_offsets_.empty() ? 0 : out_offsets_.size() - 1; }
+  std::size_t num_arcs() const noexcept { return out_adj_.size(); }
+
+  std::span<const Vertex> out_neighbors(Vertex v) const noexcept {
+    return {out_adj_.data() + out_offsets_[v],
+            out_adj_.data() + out_offsets_[v + 1]};
+  }
+  std::span<const Vertex> in_neighbors(Vertex v) const noexcept {
+    return {in_adj_.data() + in_offsets_[v],
+            in_adj_.data() + in_offsets_[v + 1]};
+  }
+
+  std::size_t out_degree(Vertex v) const noexcept {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  std::size_t in_degree(Vertex v) const noexcept {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  bool has_arc(Vertex u, Vertex v) const noexcept;
+
+  std::vector<Edge> arc_list() const;
+
+ private:
+  std::vector<std::size_t> out_offsets_, in_offsets_;
+  std::vector<Vertex> out_adj_, in_adj_;
+};
+
+}  // namespace km

@@ -1,0 +1,180 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace km {
+
+namespace {
+/// Geometric skip sampling over a linearized index space [0, total):
+/// calls visit(i) for each index selected with probability p.
+template <typename Visit>
+void skip_sample(std::uint64_t total, double p, Rng& rng, Visit visit) {
+  if (p <= 0.0 || total == 0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < total; ++i) visit(i);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  double i = -1.0;
+  while (true) {
+    const double r = std::max(rng.real01(), 1e-300);
+    i += 1.0 + std::floor(std::log(r) / log1mp);
+    if (i >= static_cast<double>(total)) break;
+    visit(static_cast<std::uint64_t>(i));
+  }
+}
+}  // namespace
+
+Graph gnp(std::size_t n, double p, Rng& rng) {
+  std::vector<Edge> edges;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;  // pairs u<v
+  skip_sample(total, p, rng, [&](std::uint64_t idx) {
+    // Invert the row-major enumeration of pairs (u,v), u<v.
+    // Row u (0-based) starts at offset u*n - u*(u+1)/2 - u ... use direct
+    // solve: find u = largest with f(u) <= idx where
+    // f(u) = u*(2n-u-1)/2 counts pairs before row u.
+    const double nd = static_cast<double>(n);
+    double ud = std::floor(
+        ((2.0 * nd - 1.0) -
+         std::sqrt((2.0 * nd - 1.0) * (2.0 * nd - 1.0) -
+                   8.0 * static_cast<double>(idx))) /
+        2.0);
+    auto u = static_cast<std::uint64_t>(std::max(ud, 0.0));
+    auto row_start = [&](std::uint64_t uu) {
+      return uu * (2 * n - uu - 1) / 2;
+    };
+    while (u > 0 && row_start(u) > idx) --u;
+    while (row_start(u + 1) <= idx) ++u;
+    const std::uint64_t v = u + 1 + (idx - row_start(u));
+    edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  });
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Digraph gnp_directed(std::size_t n, double p, Rng& rng) {
+  std::vector<Edge> arcs;
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * n;
+  skip_sample(total, p, rng, [&](std::uint64_t idx) {
+    const auto u = static_cast<Vertex>(idx / n);
+    const auto v = static_cast<Vertex>(idx % n);
+    if (u != v) arcs.emplace_back(u, v);
+  });
+  return Digraph::from_arcs(n, std::move(arcs));
+}
+
+Graph path_graph(std::size_t n) {
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    edges.emplace_back(static_cast<Vertex>(i), static_cast<Vertex>(i + 1));
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph cycle_graph(std::size_t n) {
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    edges.emplace_back(static_cast<Vertex>(i), static_cast<Vertex>(i + 1));
+  }
+  if (n > 2) edges.emplace_back(static_cast<Vertex>(n - 1), 0);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph star_graph(std::size_t n) {
+  std::vector<Edge> edges;
+  for (std::size_t i = 1; i < n; ++i) {
+    edges.emplace_back(0, static_cast<Vertex>(i));
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph complete_graph(std::size_t n) {
+  std::vector<Edge> edges;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  std::vector<Edge> edges;
+  auto id = [&](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph::from_edges(rows * cols, std::move(edges));
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t attach, Rng& rng) {
+  if (attach == 0) throw std::invalid_argument("barabasi_albert: attach==0");
+  if (n <= attach) return complete_graph(n);
+  std::vector<Edge> edges;
+  // repeated-endpoints list: sampling uniformly from it is sampling
+  // proportionally to degree.
+  std::vector<Vertex> endpoints;
+  for (std::size_t u = 0; u < attach; ++u) {
+    for (std::size_t v = u + 1; v < attach; ++v) {
+      edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+      endpoints.push_back(static_cast<Vertex>(u));
+      endpoints.push_back(static_cast<Vertex>(v));
+    }
+  }
+  std::vector<Vertex> chosen;
+  for (std::size_t w = attach; w < n; ++w) {
+    chosen.clear();
+    while (chosen.size() < attach) {
+      const Vertex c = endpoints[rng.below(endpoints.size())];
+      if (std::find(chosen.begin(), chosen.end(), c) == chosen.end()) {
+        chosen.push_back(c);
+      }
+    }
+    for (Vertex c : chosen) {
+      edges.emplace_back(static_cast<Vertex>(w), c);
+      endpoints.push_back(static_cast<Vertex>(w));
+      endpoints.push_back(c);
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t degree, double beta,
+                     Rng& rng) {
+  if (n < 3) return path_graph(n);
+  const std::size_t half = std::max<std::size_t>(1, degree / 2);
+  std::vector<Edge> edges;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t d = 1; d <= half; ++d) {
+      Vertex v = static_cast<Vertex>((u + d) % n);
+      if (rng.bernoulli(beta)) {
+        // Rewire to a uniformly random non-self endpoint.
+        Vertex w = static_cast<Vertex>(rng.below(n));
+        while (w == u) w = static_cast<Vertex>(rng.below(n));
+        v = w;
+      }
+      edges.emplace_back(static_cast<Vertex>(u), v);
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph random_bipartite(std::size_t a, std::size_t b, double p, Rng& rng) {
+  std::vector<Edge> edges;
+  skip_sample(static_cast<std::uint64_t>(a) * b, p, rng,
+              [&](std::uint64_t idx) {
+                const auto u = static_cast<Vertex>(idx / b);
+                const auto v = static_cast<Vertex>(a + idx % b);
+                edges.emplace_back(u, v);
+              });
+  return Graph::from_edges(a + b, std::move(edges));
+}
+
+}  // namespace km

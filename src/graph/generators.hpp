@@ -1,0 +1,55 @@
+// Graph generators for the workloads the paper evaluates on:
+//  - Erdős–Rényi G(n,p), in particular G(n,1/2) for the triangle lower
+//    bound (Section 2.4);
+//  - skewed-degree graphs (star, Barabási–Albert) that realize the
+//    congestion worst cases motivating Algorithm 1's heavy-vertex path;
+//  - small-world (Watts–Strogatz) graphs for the social-network examples;
+//  - structured graphs (path, cycle, complete, grid) for tests.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace km {
+
+/// G(n,p): every unordered pair is an edge independently with prob p.
+/// Uses geometric skipping, O(n + m) expected time.
+Graph gnp(std::size_t n, double p, Rng& rng);
+
+/// Directed G(n,p): every ordered pair (u != v) independently with prob p.
+Digraph gnp_directed(std::size_t n, double p, Rng& rng);
+
+/// Path 0-1-...-(n-1).
+Graph path_graph(std::size_t n);
+
+/// Cycle on n vertices.
+Graph cycle_graph(std::size_t n);
+
+/// Star: vertex 0 adjacent to all others. The canonical congestion
+/// hot-spot for naive PageRank token forwarding (Section 3.1).
+Graph star_graph(std::size_t n);
+
+/// Complete graph K_n.
+Graph complete_graph(std::size_t n);
+
+/// 2-D grid graph with `rows` x `cols` vertices.
+Graph grid_graph(std::size_t rows, std::size_t cols);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices chosen proportionally to degree.
+/// Produces the power-law degree skew typical of web graphs.
+Graph barabasi_albert(std::size_t n, std::size_t attach, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `degree` neighbors per
+/// side rewired with probability beta. High clustering = many triangles.
+Graph watts_strogatz(std::size_t n, std::size_t degree, double beta,
+                     Rng& rng);
+
+/// Random bipartite graph between parts of size a and b with edge prob p
+/// (triangle-free by construction; used as a negative control).
+Graph random_bipartite(std::size_t a, std::size_t b, double p, Rng& rng);
+
+}  // namespace km

@@ -1,0 +1,75 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace km {
+
+Graph Graph::from_edges(std::size_t n, std::vector<Edge> edges) {
+  for (auto& [u, v] : edges) {
+    if (u >= n || v >= n) {
+      throw std::out_of_range("Graph::from_edges: vertex id out of range");
+    }
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  std::erase_if(edges, [](const Edge& e) { return e.first == e.second; });
+
+  Graph g;
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.adjacency_.resize(g.offsets_[n]);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
+    best = std::max(best, offsets_[v + 1] - offsets_[v]);
+  }
+  return best;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const noexcept {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  const auto ns = neighbors(u);
+  return std::binary_search(ns.begin(), ns.end(), v);
+}
+
+std::vector<Edge> Graph::edge_list() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (Vertex u = 0; u < num_vertices(); ++u) {
+    for (Vertex v : neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+Graph Graph::induced(const std::vector<bool>& keep) const {
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < num_vertices(); ++u) {
+    if (!keep[u]) continue;
+    for (Vertex v : neighbors(u)) {
+      if (u < v && keep[v]) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(num_vertices(), std::move(edges));
+}
+
+}  // namespace km

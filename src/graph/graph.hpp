@@ -1,0 +1,56 @@
+// Undirected graph in compressed sparse row (CSR) form.
+//
+// Vertices are dense integer IDs [0, n) as in the paper (Section 1.1:
+// "each associated with a unique integer ID from [n]").  Adjacency lists
+// are sorted, which the triangle kernels rely on for O(deg) merges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace km {
+
+using Vertex = std::uint32_t;
+using Edge = std::pair<Vertex, Vertex>;
+
+/// Immutable undirected simple graph (no self loops, no parallel edges).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an edge list. Duplicates and self-loops are dropped;
+  /// (u,v) and (v,u) are identified.
+  static Graph from_edges(std::size_t n, std::vector<Edge> edges);
+
+  std::size_t num_vertices() const noexcept { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t num_edges() const noexcept { return adjacency_.size() / 2; }
+
+  std::span<const Vertex> neighbors(Vertex v) const noexcept {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  std::size_t degree(Vertex v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::size_t max_degree() const noexcept;
+
+  /// O(log deg) membership test on the sorted adjacency list.
+  bool has_edge(Vertex u, Vertex v) const noexcept;
+
+  /// All edges as (min,max) pairs, each listed once, lexicographically.
+  std::vector<Edge> edge_list() const;
+
+  /// Subgraph induced by `keep` (IDs preserved; vertices outside keep get
+  /// empty adjacency). `keep[v]` must be valid for all v.
+  Graph induced(const std::vector<bool>& keep) const;
+
+ private:
+  std::vector<std::size_t> offsets_;  // n+1 entries
+  std::vector<Vertex> adjacency_;     // 2m entries, sorted per vertex
+};
+
+}  // namespace km

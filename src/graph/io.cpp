@@ -1,0 +1,92 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace km {
+
+namespace {
+std::vector<Edge> parse_pairs(std::istream& in) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> raw;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::uint64_t u, v;
+    if (ls >> u >> v) raw.emplace_back(u, v);
+  }
+  // Compact arbitrary IDs to [0, n) preserving numeric order, so files
+  // that already use contiguous IDs round-trip unchanged.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(raw.size() * 2);
+  for (const auto& [u, v] : raw) {
+    ids.push_back(u);
+    ids.push_back(v);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  auto id_of = [&](std::uint64_t x) {
+    return static_cast<Vertex>(
+        std::lower_bound(ids.begin(), ids.end(), x) - ids.begin());
+  };
+  std::vector<Edge> edges;
+  edges.reserve(raw.size());
+  for (const auto& [u, v] : raw) edges.emplace_back(id_of(u), id_of(v));
+  return edges;
+}
+
+std::size_t max_vertex(const std::vector<Edge>& edges) {
+  std::size_t n = 0;
+  for (const auto& [u, v] : edges) {
+    n = std::max<std::size_t>(n, std::max(u, v) + 1);
+  }
+  return n;
+}
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  auto edges = parse_pairs(in);
+  const std::size_t n = max_vertex(edges);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_edge_list(in);
+}
+
+Digraph read_arc_list(std::istream& in) {
+  auto arcs = parse_pairs(in);
+  const std::size_t n = max_vertex(arcs);
+  return Digraph::from_arcs(n, std::move(arcs));
+}
+
+Digraph read_arc_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_arc_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# undirected, n=" << g.num_vertices() << " m=" << g.num_edges()
+      << "\n";
+  for (const auto& [u, v] : g.edge_list()) out << u << " " << v << "\n";
+}
+
+void write_edge_list_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_edge_list(out, g);
+}
+
+void write_arc_list(std::ostream& out, const Digraph& g) {
+  out << "# directed, n=" << g.num_vertices() << " arcs=" << g.num_arcs()
+      << "\n";
+  for (const auto& [u, v] : g.arc_list()) out << u << " " << v << "\n";
+}
+
+}  // namespace km

@@ -1,0 +1,27 @@
+// Plain-text edge-list IO: one "u v" pair per line, '#' comments allowed.
+// Compatible with the SNAP dataset format so real social-network /
+// web-graph snapshots can be dropped into the examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+namespace km {
+
+/// Reads an undirected graph. Vertex IDs are compacted to [0, n).
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+
+/// Reads a directed graph (each line is an arc u -> v).
+Digraph read_arc_list(std::istream& in);
+Digraph read_arc_list_file(const std::string& path);
+
+void write_edge_list(std::ostream& out, const Graph& g);
+void write_edge_list_file(const std::string& path, const Graph& g);
+
+void write_arc_list(std::ostream& out, const Digraph& g);
+
+}  // namespace km

@@ -1,0 +1,55 @@
+#include "graph/lb_graphs.hpp"
+
+#include <stdexcept>
+
+namespace km {
+
+PageRankLowerBoundGraph::PageRankLowerBoundGraph(std::size_t q, Rng& rng) {
+  bits_.resize(q);
+  for (auto& b : bits_) b = rng.bernoulli(0.5) ? 1 : 0;
+  build();
+}
+
+PageRankLowerBoundGraph::PageRankLowerBoundGraph(
+    std::vector<std::uint8_t> bits)
+    : bits_(std::move(bits)) {
+  build();
+}
+
+void PageRankLowerBoundGraph::build() {
+  if (bits_.empty()) {
+    throw std::invalid_argument("PageRankLowerBoundGraph: q must be >= 1");
+  }
+  std::vector<Edge> arcs;
+  arcs.reserve(4 * q());
+  for (std::size_t i = 0; i < q(); ++i) {
+    arcs.emplace_back(u(i), t(i));
+    arcs.emplace_back(t(i), v(i));
+    arcs.emplace_back(v(i), w());
+    if (bits_[i] == 0) {
+      arcs.emplace_back(u(i), x(i));
+    } else {
+      arcs.emplace_back(x(i), u(i));
+    }
+  }
+  graph_ = Digraph::from_arcs(n(), std::move(arcs));
+}
+
+double PageRankLowerBoundGraph::expected_pagerank_v(
+    double eps, std::uint8_t bit) const noexcept {
+  const double r = 1.0 - eps;
+  const double phi =
+      (bit == 0) ? 1.0 + r + r * r / 2.0 : 1.0 + r + r * r + r * r * r;
+  return eps * phi / static_cast<double>(n());
+}
+
+double PageRankLowerBoundGraph::decision_threshold(double eps) const noexcept {
+  return 0.5 * (expected_pagerank_v(eps, 0) + expected_pagerank_v(eps, 1));
+}
+
+std::uint8_t PageRankLowerBoundGraph::decode_bit(
+    double eps, double pagerank_of_v) const noexcept {
+  return pagerank_of_v > decision_threshold(eps) ? 1 : 0;
+}
+
+}  // namespace km

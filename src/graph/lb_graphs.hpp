@@ -1,0 +1,60 @@
+// The lower-bound gadget graph H of Figure 1 (Section 2.3).
+//
+// H has n = 4q + 1 vertices arranged in four columns X, U, T, V of size
+// q = m/4 each plus a sink w.  For every index i there are directed edges
+// u_i -> t_i -> v_i -> w, and one "important" edge between x_i and u_i
+// whose direction is a fair coin flip b_i:
+//     b_i = 0:  u_i -> x_i        b_i = 1:  x_i -> u_i
+// Lemma 4: the PageRank of v_i differs by a constant factor between the
+// two cases, so a correct PageRank output for v_i reveals b_i.  The
+// General Lower Bound Theorem then gives the Omega~(n/k^2) round bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace km {
+
+class PageRankLowerBoundGraph {
+ public:
+  /// q important indices; n = 4q+1 vertices; bits drawn from rng.
+  PageRankLowerBoundGraph(std::size_t q, Rng& rng);
+
+  /// Deterministic construction from a given bit vector.
+  explicit PageRankLowerBoundGraph(std::vector<std::uint8_t> bits);
+
+  const Digraph& graph() const noexcept { return graph_; }
+  const std::vector<std::uint8_t>& bits() const noexcept { return bits_; }
+  std::size_t q() const noexcept { return bits_.size(); }
+  std::size_t n() const noexcept { return 4 * q() + 1; }
+
+  // Vertex IDs of the four columns and the sink.
+  Vertex x(std::size_t i) const noexcept { return static_cast<Vertex>(i); }
+  Vertex u(std::size_t i) const noexcept { return static_cast<Vertex>(q() + i); }
+  Vertex t(std::size_t i) const noexcept { return static_cast<Vertex>(2 * q() + i); }
+  Vertex v(std::size_t i) const noexcept { return static_cast<Vertex>(3 * q() + i); }
+  Vertex w() const noexcept { return static_cast<Vertex>(4 * q()); }
+
+  /// Analytic PageRank of v_i (expected-visit semantics) given its bit:
+  /// b=0 -> eps*(2.5 - 2 eps + eps^2/2)/n,
+  /// b=1 -> eps*(1 + (1-eps) + (1-eps)^2 + (1-eps)^3)/n.    (Lemma 4)
+  double expected_pagerank_v(double eps, std::uint8_t bit) const noexcept;
+
+  /// Decision threshold halfway between the two analytic values; a
+  /// delta-approximate PageRank of v_i decodes b_i by comparing to this.
+  double decision_threshold(double eps) const noexcept;
+
+  /// Decodes b_i from an estimated PageRank value of v_i.
+  std::uint8_t decode_bit(double eps, double pagerank_of_v) const noexcept;
+
+ private:
+  void build();
+
+  std::vector<std::uint8_t> bits_;
+  Digraph graph_;
+};
+
+}  // namespace km

@@ -1,0 +1,73 @@
+#include "graph/pagerank_ref.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace km {
+
+std::vector<double> expected_visit_pagerank(const Digraph& g,
+                                            const PageRankRefOptions& opt) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return {};
+  std::vector<double> phi(n, 1.0), next(n);
+  for (std::size_t iter = 0; iter < opt.max_iters; ++iter) {
+    // next_v = 1 + (1-eps) * sum_{u -> v} phi_u / outdeg(u)
+    std::fill(next.begin(), next.end(), 1.0);
+    for (Vertex u = 0; u < n; ++u) {
+      const auto outs = g.out_neighbors(u);
+      if (outs.empty()) continue;  // dangling: tokens terminate
+      const double share = (1.0 - opt.eps) * phi[u] /
+                           static_cast<double>(outs.size());
+      for (Vertex v : outs) next[v] += share;
+    }
+    double delta = 0.0;
+    for (std::size_t v = 0; v < n; ++v) delta += std::abs(next[v] - phi[v]);
+    phi.swap(next);
+    if (delta < opt.tolerance) break;
+  }
+  std::vector<double> pi(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    pi[v] = opt.eps * phi[v] / static_cast<double>(n);
+  }
+  return pi;
+}
+
+std::vector<double> power_iteration_pagerank(const Digraph& g,
+                                             const PageRankRefOptions& opt) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return {};
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> pi(n, uniform), next(n);
+  for (std::size_t iter = 0; iter < opt.max_iters; ++iter) {
+    double dangling = 0.0;
+    for (Vertex u = 0; u < n; ++u) {
+      if (g.out_degree(u) == 0) dangling += pi[u];
+    }
+    const double base =
+        opt.eps * uniform + (1.0 - opt.eps) * dangling * uniform;
+    std::fill(next.begin(), next.end(), base);
+    for (Vertex u = 0; u < n; ++u) {
+      const auto outs = g.out_neighbors(u);
+      if (outs.empty()) continue;
+      const double share =
+          (1.0 - opt.eps) * pi[u] / static_cast<double>(outs.size());
+      for (Vertex v : outs) next[v] += share;
+    }
+    double delta = 0.0;
+    for (std::size_t v = 0; v < n; ++v) delta += std::abs(next[v] - pi[v]);
+    pi.swap(next);
+    if (delta < opt.tolerance) break;
+  }
+  return pi;
+}
+
+double l1_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("l1_distance: size mismatch");
+  }
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d;
+}
+
+}  // namespace km

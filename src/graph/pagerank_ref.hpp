@@ -1,0 +1,47 @@
+// Sequential reference PageRank solvers.
+//
+// The paper (Section 1.5) defines PageRank as the stationary distribution
+// of the reset random walk: with probability eps restart at a uniform
+// vertex, otherwise follow a uniform out-edge.  The distributed algorithm
+// (Section 3.1, after [20]) estimates it by simulating c*log(n) walk tokens
+// per vertex; the estimator is pi_v = eps * psi_v / (n * c * log n) where
+// psi_v counts walk visits to v.
+//
+// expected_visit_pagerank() solves the *exact* expectation of that token
+// process:  phi = 1 + (1-eps) P^T phi  (phi_v = expected visits per
+// starting token), then pi_v = eps*phi_v / n.  This is the correct ground
+// truth for the Monte Carlo algorithms in core/ — including on graphs with
+// dangling vertices such as the lower-bound gadget H, where walks at a
+// sink simply terminate (no teleport of the residual mass).
+//
+// power_iteration_pagerank() is the classical normalized PageRank with
+// uniform dangling redistribution, provided for library completeness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace km {
+
+struct PageRankRefOptions {
+  double eps = 0.15;        ///< reset probability
+  double tolerance = 1e-12; ///< L1 convergence threshold
+  std::size_t max_iters = 10000;
+};
+
+/// Expected-visits fixpoint phi = 1 + (1-eps) P^T phi; returns
+/// pi_v = eps * phi_v / n (matches the Monte Carlo estimator of [20]).
+std::vector<double> expected_visit_pagerank(const Digraph& g,
+                                            const PageRankRefOptions& opt = {});
+
+/// Classical power iteration with uniform dangling-mass redistribution;
+/// returns a probability vector (sums to 1).
+std::vector<double> power_iteration_pagerank(const Digraph& g,
+                                             const PageRankRefOptions& opt = {});
+
+/// L1 distance between two vectors of equal length.
+double l1_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace km

@@ -1,0 +1,73 @@
+#include "graph/properties.hpp"
+
+#include <queue>
+
+namespace km {
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return s;
+  s.min = g.degree(0);
+  for (Vertex v = 0; v < n; ++v) {
+    const std::size_t d = g.degree(v);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    s.mean += static_cast<double>(d);
+    s.sum_squares += static_cast<std::uint64_t>(d) * d;
+  }
+  s.mean /= static_cast<double>(n);
+  return s;
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint32_t> label(n, UINT32_MAX);
+  std::uint32_t next = 0;
+  std::queue<Vertex> frontier;
+  for (Vertex s = 0; s < n; ++s) {
+    if (label[s] != UINT32_MAX) continue;
+    label[s] = next;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const Vertex u = frontier.front();
+      frontier.pop();
+      for (Vertex v : g.neighbors(u)) {
+        if (label[v] == UINT32_MAX) {
+          label[v] = next;
+          frontier.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+std::size_t num_connected_components(const Graph& g) {
+  const auto labels = connected_components(g);
+  std::uint32_t best = 0;
+  for (auto l : labels) best = std::max(best, l + 1);
+  return g.num_vertices() == 0 ? 0 : best;
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_vertices() <= 1 || num_connected_components(g) == 1;
+}
+
+bool is_weakly_connected(const Digraph& g) {
+  std::vector<Edge> edges;
+  edges.reserve(g.num_arcs());
+  for (const auto& [u, v] : g.arc_list()) edges.emplace_back(u, v);
+  return is_connected(Graph::from_edges(g.num_vertices(), std::move(edges)));
+}
+
+std::size_t num_dangling(const Digraph& g) {
+  std::size_t count = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (g.out_degree(v) == 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace km

@@ -1,0 +1,34 @@
+// Structural graph properties used by tests and the info-cost module.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+namespace km {
+
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+  std::uint64_t sum_squares = 0;  ///< sum of deg^2 (baseline traffic bound)
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Connected component label per vertex (BFS), labels in [0, #components).
+std::vector<std::uint32_t> connected_components(const Graph& g);
+
+std::size_t num_connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Weak connectivity of a digraph (ignoring directions).
+bool is_weakly_connected(const Digraph& g);
+
+/// Number of vertices with out-degree 0 (dangling; walks terminate there).
+std::size_t num_dangling(const Digraph& g);
+
+}  // namespace km

@@ -1,0 +1,125 @@
+#include "graph/triangle_ref.hpp"
+
+#include <algorithm>
+
+namespace km {
+
+namespace {
+/// Rank vertices by (degree, id); returns rank position per vertex.
+std::vector<std::uint32_t> degree_ranks(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<Vertex> order(n);
+  for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<Vertex>(v);
+  std::sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
+    const auto da = g.degree(a), db = g.degree(b);
+    return da != db ? da < db : a < b;
+  });
+  std::vector<std::uint32_t> rank(n);
+  for (std::size_t i = 0; i < n; ++i) rank[order[i]] = static_cast<std::uint32_t>(i);
+  return rank;
+}
+
+/// Forward adjacency: neighbors with strictly higher rank, sorted by ID.
+std::vector<std::vector<Vertex>> forward_lists(
+    const Graph& g, const std::vector<std::uint32_t>& rank) {
+  std::vector<std::vector<Vertex>> fwd(g.num_vertices());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v : g.neighbors(u)) {
+      if (rank[v] > rank[u]) fwd[u].push_back(v);
+    }
+    std::sort(fwd[u].begin(), fwd[u].end());
+  }
+  return fwd;
+}
+}  // namespace
+
+void for_each_triangle(const Graph& g,
+                       const std::function<void(const Triangle&)>& out) {
+  const auto rank = degree_ranks(g);
+  const auto fwd = forward_lists(g, rank);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v : fwd[u]) {
+      // Intersect fwd[u] and fwd[v]; both sorted by ID.
+      auto it_u = fwd[u].begin();
+      auto it_v = fwd[v].begin();
+      while (it_u != fwd[u].end() && it_v != fwd[v].end()) {
+        if (*it_u < *it_v) {
+          ++it_u;
+        } else if (*it_v < *it_u) {
+          ++it_v;
+        } else {
+          Triangle t{u, v, *it_u};
+          std::sort(t.begin(), t.end());
+          out(t);
+          ++it_u;
+          ++it_v;
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t count_triangles(const Graph& g) {
+  std::uint64_t count = 0;
+  for_each_triangle(g, [&](const Triangle&) { ++count; });
+  return count;
+}
+
+std::vector<Triangle> enumerate_triangles(const Graph& g) {
+  std::vector<Triangle> out;
+  for_each_triangle(g, [&](const Triangle& t) { out.push_back(t); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t count_open_triads(const Graph& g) {
+  std::uint64_t paths2 = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t d = g.degree(v);
+    paths2 += d * (d - 1) / 2;
+  }
+  return paths2 - 3 * count_triangles(g);
+}
+
+std::vector<Triangle> enumerate_open_triads(const Graph& g) {
+  std::vector<Triangle> out;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto ns = g.neighbors(v);
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      for (std::size_t j = i + 1; j < ns.size(); ++j) {
+        const Vertex u = ns[i], w = ns[j];
+        if (!g.has_edge(u, w)) {
+          // Canonical form: sorted vertex triple.  The center is
+          // recoverable (it is the unique vertex adjacent to the other
+          // two), so sorting loses no information.
+          Triangle t{u, v, w};
+          std::sort(t.begin(), t.end());
+          out.push_back(t);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double global_clustering_coefficient(const Graph& g) {
+  std::uint64_t paths2 = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t d = g.degree(v);
+    paths2 += d * (d - 1) / 2;
+  }
+  if (paths2 == 0) return 0.0;
+  return 3.0 * static_cast<double>(count_triangles(g)) /
+         static_cast<double>(paths2);
+}
+
+std::vector<std::uint64_t> per_vertex_triangle_counts(const Graph& g) {
+  std::vector<std::uint64_t> counts(g.num_vertices(), 0);
+  for_each_triangle(g, [&](const Triangle& t) {
+    for (Vertex v : t) ++counts[v];
+  });
+  return counts;
+}
+
+}  // namespace km

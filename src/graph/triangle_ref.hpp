@@ -1,0 +1,47 @@
+// Sequential reference kernels for triangle enumeration (Section 1.5) and
+// open triads ("three vertices with exactly two edges", Section 1.2).
+//
+// The enumeration kernel is the "forward" algorithm: vertices are ranked
+// by (degree, id); each edge is oriented toward the higher rank, and
+// triangles are found by intersecting forward-adjacency lists.  Every
+// triangle (a < b < c by rank) is reported exactly once.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace km {
+
+/// A triangle as its three vertex IDs in increasing order.
+using Triangle = std::array<Vertex, 3>;
+
+/// Number of triangles in g (forward algorithm, O(m^{3/2})).
+std::uint64_t count_triangles(const Graph& g);
+
+/// Calls `out` once per triangle, vertices in increasing ID order.
+void for_each_triangle(const Graph& g,
+                       const std::function<void(const Triangle&)>& out);
+
+/// All triangles, sorted lexicographically.
+std::vector<Triangle> enumerate_triangles(const Graph& g);
+
+/// Number of open triads: paths u-v-w (u<w) with edge (u,w) absent.
+/// Equals sum_v C(deg v, 2) - 3 * #triangles.
+std::uint64_t count_open_triads(const Graph& g);
+
+/// All open triads as sorted vertex triples (the center is the unique
+/// vertex adjacent to the other two), sorted lexicographically.
+/// Intended for small graphs (output may be Theta(n * max_deg^2)).
+std::vector<Triangle> enumerate_open_triads(const Graph& g);
+
+/// Global clustering coefficient: 3*triangles / (#length-2 paths).
+double global_clustering_coefficient(const Graph& g);
+
+/// Per-vertex triangle counts (each triangle adds 1 to each corner).
+std::vector<std::uint64_t> per_vertex_triangle_counts(const Graph& g);
+
+}  // namespace km

@@ -1,0 +1,144 @@
+#include "graph/weighted.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+namespace km {
+
+bool mst_edge_less(const WeightedEdge& a, const WeightedEdge& b) noexcept {
+  const auto key = [](const WeightedEdge& e) {
+    return std::tuple(e.weight, std::min(e.u, e.v), std::max(e.u, e.v));
+  };
+  return key(a) < key(b);
+}
+
+WeightedGraph WeightedGraph::from_edges(std::size_t n,
+                                        std::vector<WeightedEdge> edges) {
+  for (auto& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      throw std::out_of_range("WeightedGraph::from_edges: vertex id range");
+    }
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::erase_if(edges, [](const WeightedEdge& e) { return e.u == e.v; });
+  // Sort by endpoints then weight; keep the lightest parallel edge.
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    return std::tuple(a.u, a.v, a.weight) < std::tuple(b.u, b.v, b.weight);
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.u == b.u && a.v == b.v;
+                          }),
+              edges.end());
+
+  WeightedGraph g;
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& e : edges) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.adjacency_.resize(g.offsets_[n]);
+  g.weight_.resize(g.offsets_[n]);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : edges) {
+    g.adjacency_[cursor[e.u]] = e.v;
+    g.weight_[cursor[e.u]++] = e.weight;
+    g.adjacency_[cursor[e.v]] = e.u;
+    g.weight_[cursor[e.v]++] = e.weight;
+  }
+  return g;
+}
+
+WeightedGraph WeightedGraph::complete_random(std::size_t n,
+                                             std::uint64_t max_weight,
+                                             Rng& rng) {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      edges.push_back({u, v, 1 + rng.below(max_weight)});
+    }
+  }
+  return from_edges(n, std::move(edges));
+}
+
+WeightedGraph WeightedGraph::randomize_weights(const Graph& g,
+                                               std::uint64_t max_weight,
+                                               Rng& rng) {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(g.num_edges());
+  for (const auto& [u, v] : g.edge_list()) {
+    edges.push_back({u, v, 1 + rng.below(max_weight)});
+  }
+  return from_edges(g.num_vertices(), std::move(edges));
+}
+
+Graph WeightedGraph::topology() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (Vertex u = 0; u < num_vertices(); ++u) {
+    const auto ns = neighbors(u);
+    for (Vertex v : ns) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(num_vertices(), std::move(edges));
+}
+
+std::vector<WeightedEdge> WeightedGraph::edge_list() const {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(num_edges());
+  for (Vertex u = 0; u < num_vertices(); ++u) {
+    const auto ns = neighbors(u);
+    const auto ws = weights(u);
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      if (u < ns[i]) edges.push_back({u, ns[i], ws[i]});
+    }
+  }
+  return edges;
+}
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), sets_(n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    parent_[i] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) noexcept {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::uint32_t x, std::uint32_t y) noexcept {
+  x = find(x);
+  y = find(y);
+  if (x == y) return false;
+  if (size_[x] < size_[y]) std::swap(x, y);
+  parent_[y] = x;
+  size_[x] += size_[y];
+  --sets_;
+  return true;
+}
+
+MstResult kruskal_mst(const WeightedGraph& g) {
+  auto edges = g.edge_list();
+  std::sort(edges.begin(), edges.end(), mst_edge_less);
+  UnionFind uf(g.num_vertices());
+  MstResult result;
+  for (const auto& e : edges) {
+    if (uf.unite(e.u, e.v)) {
+      result.edges.push_back(e);
+      result.total_weight += e.weight;
+    }
+  }
+  std::sort(result.edges.begin(), result.edges.end(), mst_edge_less);
+  return result;
+}
+
+}  // namespace km

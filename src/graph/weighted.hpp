@@ -1,0 +1,105 @@
+// Weighted undirected graphs, union-find, and sequential MST reference.
+//
+// Section 1.3 of the paper derives the Omega~(n/Bk^2) MST lower bound
+// from the General Lower Bound Theorem ("the lower bound graph can be a
+// complete graph with random edge weights") and cites the matching
+// O~(n/k^2) algorithm of [51].  This header provides the weighted
+// substrate: a CSR weighted graph, a deterministic Kruskal reference,
+// and the disjoint-set forest both sides use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace km {
+
+struct WeightedEdge {
+  Vertex u = 0;
+  Vertex v = 0;
+  std::uint64_t weight = 0;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+  friend auto operator<=>(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+/// Total order on edges used for MST tie-breaking: (weight, min, max).
+/// Distinct under this order even with equal weights, which makes the
+/// minimum spanning forest unique — required for Boruvka correctness.
+bool mst_edge_less(const WeightedEdge& a, const WeightedEdge& b) noexcept;
+
+/// Immutable weighted undirected simple graph (CSR + parallel weights).
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+
+  /// Duplicates (by endpoint pair) and self loops are dropped; of two
+  /// parallel edges the lighter survives.
+  static WeightedGraph from_edges(std::size_t n,
+                                  std::vector<WeightedEdge> edges);
+
+  /// Complete graph with weights drawn uniformly from [1, max_weight]:
+  /// the paper's MST lower-bound input family.
+  static WeightedGraph complete_random(std::size_t n,
+                                       std::uint64_t max_weight, Rng& rng);
+
+  /// Random weights on an existing topology.
+  static WeightedGraph randomize_weights(const Graph& g,
+                                         std::uint64_t max_weight, Rng& rng);
+
+  std::size_t num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t num_edges() const noexcept { return adjacency_.size() / 2; }
+
+  std::span<const Vertex> neighbors(Vertex v) const noexcept {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+  std::span<const std::uint64_t> weights(Vertex v) const noexcept {
+    return {weight_.data() + offsets_[v], weight_.data() + offsets_[v + 1]};
+  }
+  std::size_t degree(Vertex v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Underlying unweighted topology (copies).
+  Graph topology() const;
+
+  std::vector<WeightedEdge> edge_list() const;
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<Vertex> adjacency_;
+  std::vector<std::uint64_t> weight_;
+};
+
+/// Disjoint-set forest with union by size and path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  std::uint32_t find(std::uint32_t x) noexcept;
+  /// Returns false if x and y were already in the same set.
+  bool unite(std::uint32_t x, std::uint32_t y) noexcept;
+  std::size_t num_sets() const noexcept { return sets_; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t sets_;
+};
+
+struct MstResult {
+  std::vector<WeightedEdge> edges;  ///< sorted by mst_edge_less
+  std::uint64_t total_weight = 0;
+};
+
+/// Kruskal's algorithm; returns the unique minimum spanning forest
+/// under the mst_edge_less tie-break order.
+MstResult kruskal_mst(const WeightedGraph& g);
+
+}  // namespace km

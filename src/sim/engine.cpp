@@ -1,0 +1,240 @@
+#include "sim/engine.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/mathx.hpp"
+
+namespace km {
+
+std::uint64_t EngineConfig::default_bandwidth(std::size_t n) noexcept {
+  const std::uint64_t logn = std::max<std::uint64_t>(1, ceil_log2(n));
+  return 16 * logn * logn;
+}
+
+// ---------------------------------------------------------------------------
+// MachineContext
+// ---------------------------------------------------------------------------
+
+std::size_t MachineContext::k() const noexcept { return engine_->k(); }
+
+const EngineConfig& MachineContext::config() const noexcept {
+  return engine_->config();
+}
+
+void MachineContext::send(std::size_t dst, std::uint16_t tag,
+                          std::vector<std::byte> payload) {
+  if (dst == id_) {
+    throw std::logic_error("MachineContext::send: self-addressed message");
+  }
+  if (dst >= k()) {
+    throw std::out_of_range("MachineContext::send: bad destination");
+  }
+  Message msg;
+  msg.dst = static_cast<std::uint32_t>(dst);
+  msg.tag = tag;
+  msg.payload = std::move(payload);
+  outbox_.push_back(std::move(msg));
+}
+
+void MachineContext::send(std::size_t dst, std::uint16_t tag, Writer& writer) {
+  send(dst, tag, writer.take());
+}
+
+void MachineContext::broadcast(std::uint16_t tag, const Writer& writer) {
+  const auto view = writer.view();
+  for (std::size_t dst = 0; dst < k(); ++dst) {
+    if (dst == id_) continue;
+    send(dst, tag, std::vector<std::byte>(view.begin(), view.end()));
+  }
+}
+
+std::vector<Message> MachineContext::exchange() {
+  if (engine_->barrier_arrive_and_wait()) {
+    // Only possible when the engine aborted (superstep budget): a normal
+    // stop requires *all* machines to have finished, and this one hasn't.
+    throw std::runtime_error("MachineContext::exchange: engine aborted");
+  }
+  std::vector<Message> result;
+  if (stashed_.empty()) {
+    result = std::move(inbox_);
+  } else {
+    result = std::move(stashed_);
+    result.insert(result.end(), std::make_move_iterator(inbox_.begin()),
+                  std::make_move_iterator(inbox_.end()));
+  }
+  inbox_.clear();
+  stashed_.clear();
+  return result;
+}
+
+std::vector<std::uint64_t> MachineContext::all_gather(std::uint64_t value) {
+  Writer w;
+  w.put_varint(value);
+  broadcast(kCollectiveTag, w);
+  if (engine_->barrier_arrive_and_wait()) {
+    throw std::runtime_error("MachineContext::all_gather: engine aborted");
+  }
+  std::vector<Message> raw = std::move(inbox_);
+  inbox_.clear();
+  std::vector<std::uint64_t> values(k(), 0);
+  values[id_] = value;
+  for (auto& msg : raw) {
+    if (msg.tag == kCollectiveTag) {
+      Reader r(msg.payload);
+      values[msg.src] = r.get_varint();
+    } else {
+      stashed_.push_back(std::move(msg));
+    }
+  }
+  return values;
+}
+
+std::uint64_t MachineContext::all_reduce_sum(std::uint64_t value) {
+  std::uint64_t total = 0;
+  for (std::uint64_t v : all_gather(value)) total += v;
+  return total;
+}
+
+std::uint64_t MachineContext::all_reduce_max(std::uint64_t value) {
+  std::uint64_t best = 0;
+  for (std::uint64_t v : all_gather(value)) best = std::max(best, v);
+  return best;
+}
+
+bool MachineContext::all_reduce_or(bool value) {
+  return all_reduce_sum(value ? 1 : 0) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(std::size_t k, EngineConfig config)
+    : k_(k), config_(config), network_(k, config.bandwidth_bits) {
+  if (k_ < 1) throw std::invalid_argument("Engine: k must be >= 1");
+}
+
+Metrics Engine::run(const Program& program) {
+  contexts_.clear();
+  contexts_.reserve(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    contexts_.emplace_back(
+        new MachineContext(this, i, Rng(config_.seed, i)));
+  }
+  scratch_outboxes_.assign(k_, {});
+  scratch_inboxes_.assign(k_, {});
+  metrics_ = Metrics{};
+  metrics_.send_bits_per_machine.assign(k_, 0);
+  metrics_.recv_bits_per_machine.assign(k_, 0);
+  waiting_ = 0;
+  generation_ = 0;
+  stop_ = false;
+  finished_count_ = 0;
+  first_error_ = nullptr;
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(k_);
+    for (std::size_t i = 0; i < k_; ++i) {
+      threads.emplace_back([this, &program, i] {
+        try {
+          program(*contexts_[i]);
+        } catch (...) {
+          std::scoped_lock lock(mutex_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+        {
+          std::scoped_lock lock(mutex_);
+          contexts_[i]->finished_ = true;
+          ++finished_count_;
+        }
+        // Keep participating in barriers until the engine stops, so
+        // machines that finish early do not deadlock the others.  The
+        // stop flag is checked *before* arriving: once it is set, no
+        // thread will enter another barrier generation.
+        while (!stopped() && !barrier_arrive_and_wait()) {
+        }
+      });
+    }
+  }  // jthreads join here
+  const auto end = std::chrono::steady_clock::now();
+  metrics_.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+
+  if (first_error_) std::rethrow_exception(first_error_);
+  contexts_.clear();
+  return metrics_;
+}
+
+bool Engine::stopped() const {
+  std::scoped_lock lock(mutex_);
+  return stop_;
+}
+
+bool Engine::barrier_arrive_and_wait() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t gen = generation_;
+  if (++waiting_ == k_) {
+    waiting_ = 0;
+    on_barrier_complete();
+    ++generation_;
+    cv_.notify_all();
+    return stop_;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen; });
+  return stop_;
+}
+
+void Engine::on_barrier_complete() {
+  // Runs on the last arriving thread, under mutex_; all other machine
+  // threads are blocked on the condition variable, so touching their
+  // contexts is safe.
+  for (std::size_t i = 0; i < k_; ++i) {
+    scratch_outboxes_[i] = std::move(contexts_[i]->outbox_);
+    contexts_[i]->outbox_.clear();
+  }
+  const DeliveryStats stats = network_.deliver(
+      scratch_outboxes_, scratch_inboxes_, metrics_.send_bits_per_machine,
+      metrics_.recv_bits_per_machine);
+  // The final barrier generation where every machine has already finished
+  // (the drain pass) is bookkeeping, not a superstep of the algorithm.
+  if (!(finished_count_ == k_ && !stats.any)) ++metrics_.supersteps;
+  metrics_.rounds += stats.rounds;
+  metrics_.messages += stats.messages;
+  metrics_.bits += stats.bits;
+  metrics_.max_link_bits_superstep =
+      std::max(metrics_.max_link_bits_superstep, stats.max_link_bits);
+  for (std::size_t dst = 0; dst < k_; ++dst) {
+    auto& delivered = scratch_inboxes_[dst];
+    if (contexts_[dst]->finished_) {
+      metrics_.dropped_messages += delivered.size();
+      delivered.clear();
+      continue;
+    }
+    auto& inbox = contexts_[dst]->inbox_;
+    inbox.insert(inbox.end(), std::make_move_iterator(delivered.begin()),
+                 std::make_move_iterator(delivered.end()));
+    delivered.clear();
+  }
+  if (finished_count_ == k_) stop_ = true;
+  if (metrics_.supersteps > config_.max_supersteps && !first_error_) {
+    first_error_ = std::make_exception_ptr(std::runtime_error(
+        "Engine: superstep budget exhausted (runaway loop?)"));
+    stop_ = true;
+  }
+}
+
+std::string Metrics::summary() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " supersteps=" << supersteps
+     << " messages=" << messages << " bits=" << bits
+     << " max_link_bits=" << max_link_bits_superstep
+     << " max_recv_bits=" << max_recv_bits() << " wall_ms=" << wall_ms;
+  return os.str();
+}
+
+}  // namespace km

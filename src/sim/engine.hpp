@@ -1,0 +1,134 @@
+// SPMD execution engine for the k-machine model.
+//
+// Engine::run(program) launches one OS thread per machine, all executing
+// the same `program` (SPMD, like an MPI rank program).  A machine
+// communicates by buffering messages with ctx.send() and calling
+// ctx.exchange(), which is a synchronization point for *all* machines: the
+// engine collects every outbox, charges rounds per the bandwidth model
+// (see sim/network.hpp) and returns each machine the messages addressed to
+// it.  Local computation between exchanges is free, as in the paper.
+//
+// Conventions:
+//  - All machines must call exchange() in lockstep (same count, same
+//    order).  Data-dependent loop bounds must be agreed on through the
+//    provided collectives, which cost rounds through the same accounting.
+//  - Determinism: machine i's RNG is seeded from (config.seed, i), and a
+//    machine's code runs sequentially between barriers, so results do not
+//    depend on thread scheduling.
+//  - A machine that returns from `program` keeps participating in barriers
+//    invisibly until all machines finish; messages sent to a finished
+//    machine are counted as dropped (tests assert this never happens).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace km {
+
+struct EngineConfig {
+  std::uint64_t bandwidth_bits = 256;  ///< B, per link per round
+  std::uint64_t seed = 0x5eedULL;      ///< base seed for machine RNGs
+  std::uint64_t max_supersteps = 1'000'000;  ///< runaway-loop backstop
+
+  /// Bandwidth used throughout the paper: B = Theta(polylog n).
+  /// We use B = 16 * ceil(log2 n)^2 bits (a handful of O(log n)-bit
+  /// messages per link per round).
+  static std::uint64_t default_bandwidth(std::size_t n) noexcept;
+};
+
+class Engine;
+
+/// Per-machine handle: identity, RNG, messaging, collectives.
+class MachineContext {
+ public:
+  std::size_t id() const noexcept { return id_; }
+  std::size_t k() const noexcept;
+  Rng& rng() noexcept { return rng_; }
+  const EngineConfig& config() const noexcept;
+
+  /// Buffer a message for the next exchange. dst != id().
+  void send(std::size_t dst, std::uint16_t tag, std::vector<std::byte> payload);
+  void send(std::size_t dst, std::uint16_t tag, Writer& writer);
+
+  /// Buffer the same payload to every other machine (k-1 messages).
+  void broadcast(std::uint16_t tag, const Writer& writer);
+
+  /// Superstep boundary: flush sends, synchronize with all machines,
+  /// return the messages delivered to this machine.
+  std::vector<Message> exchange();
+
+  // ---- Collectives (each costs one superstep; built on exchange) ----
+  std::uint64_t all_reduce_sum(std::uint64_t value);
+  std::uint64_t all_reduce_max(std::uint64_t value);
+  bool all_reduce_or(bool value);
+  std::vector<std::uint64_t> all_gather(std::uint64_t value);
+
+ private:
+  friend class Engine;
+  MachineContext(Engine* engine, std::size_t id, Rng rng)
+      : engine_(engine), id_(id), rng_(rng) {}
+
+  Engine* engine_;
+  std::size_t id_;
+  Rng rng_;
+  std::vector<Message> outbox_;
+  std::vector<Message> inbox_;    // filled by the engine at the barrier
+  std::vector<Message> stashed_;  // non-collective msgs seen by collectives
+  bool finished_ = false;
+};
+
+using Program = std::function<void(MachineContext&)>;
+
+class Engine {
+ public:
+  Engine(std::size_t k, EngineConfig config = {});
+
+  std::size_t k() const noexcept { return k_; }
+  const EngineConfig& config() const noexcept { return config_; }
+
+  /// Runs the SPMD program on k machine threads; blocks until all finish.
+  /// Rethrows the first exception any machine threw.
+  Metrics run(const Program& program);
+
+ private:
+  friend class MachineContext;
+
+  /// Returns true when the engine has stopped (all machines finished, or
+  /// the superstep budget was exhausted).
+  bool barrier_arrive_and_wait();
+  bool stopped() const;
+  void on_barrier_complete();  // runs once per superstep, under the lock
+
+  std::size_t k_;
+  EngineConfig config_;
+  Network network_;
+
+  std::vector<std::unique_ptr<MachineContext>> contexts_;
+  std::vector<std::vector<Message>> scratch_outboxes_;
+  std::vector<std::vector<Message>> scratch_inboxes_;
+
+  // Cyclic barrier state.
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  std::size_t finished_count_ = 0;  // guarded by mutex_
+  Metrics metrics_;
+  std::exception_ptr first_error_;  // guarded by mutex_
+};
+
+}  // namespace km

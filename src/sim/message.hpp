@@ -1,0 +1,35 @@
+// A point-to-point message in the k-machine model.
+//
+// The model charges each link B bits per round; the simulator charges a
+// message its serialized payload size plus a small fixed header (the tag).
+// Payloads are produced with util/serialize.hpp so that counts and IDs are
+// varint-encoded, keeping messages at the O(log n) bits the paper assumes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace km {
+
+struct Message {
+  /// Fixed per-message framing cost (tag), charged against bandwidth.
+  static constexpr std::size_t kHeaderBits = 16;
+
+  std::uint32_t src = 0;  ///< filled in by the engine on submit
+  std::uint32_t dst = 0;
+  std::uint16_t tag = 0;
+  std::vector<std::byte> payload;
+
+  std::size_t size_bits() const noexcept {
+    return kHeaderBits + payload.size() * 8;
+  }
+};
+
+/// Tags >= kReservedTagBase are reserved for the runtime (collectives,
+/// two-hop routing envelopes); algorithms must use smaller tags.
+inline constexpr std::uint16_t kReservedTagBase = 0xFF00;
+inline constexpr std::uint16_t kCollectiveTag = 0xFF01;
+inline constexpr std::uint16_t kRouteEnvelopeTag = 0xFF02;
+
+}  // namespace km

@@ -1,0 +1,44 @@
+// Cost accounting for a k-machine execution.
+//
+// `rounds` is the paper's cost measure: for every superstep, the network
+// charges max over ordered links of ceil(bits on link / B) rounds (at
+// least 1 if any message was sent).  `recv_bits_per_machine` is the
+// empirical counterpart of the information cost IC in the General Lower
+// Bound Theorem: the total number of bits a machine received.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace km {
+
+struct Metrics {
+  std::uint64_t rounds = 0;
+  std::uint64_t supersteps = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t max_link_bits_superstep = 0;  ///< peak single-link load
+  std::uint64_t dropped_messages = 0;  ///< sent to already-finished machines
+  std::vector<std::uint64_t> send_bits_per_machine;
+  std::vector<std::uint64_t> recv_bits_per_machine;
+  double wall_ms = 0.0;
+
+  /// Max bits received by any machine = empirical information cost bound.
+  std::uint64_t max_recv_bits() const noexcept {
+    if (recv_bits_per_machine.empty()) return 0;
+    return *std::max_element(recv_bits_per_machine.begin(),
+                             recv_bits_per_machine.end());
+  }
+
+  std::uint64_t max_send_bits() const noexcept {
+    if (send_bits_per_machine.empty()) return 0;
+    return *std::max_element(send_bits_per_machine.begin(),
+                             send_bits_per_machine.end());
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace km

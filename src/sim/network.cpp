@@ -1,0 +1,58 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace km {
+
+Network::Network(std::size_t k, std::uint64_t bandwidth_bits)
+    : k_(k), bandwidth_(bandwidth_bits) {
+  if (k < 1) throw std::invalid_argument("Network: k must be >= 1");
+  if (bandwidth_bits < 1) {
+    throw std::invalid_argument("Network: bandwidth must be >= 1 bit");
+  }
+  link_bits_.assign(k_ * k_, 0);
+}
+
+DeliveryStats Network::deliver(std::vector<std::vector<Message>>& outboxes,
+                               std::vector<std::vector<Message>>& inboxes,
+                               std::span<std::uint64_t> send_bits,
+                               std::span<std::uint64_t> recv_bits) {
+  DeliveryStats stats;
+  for (std::size_t src = 0; src < k_; ++src) {
+    for (Message& msg : outboxes[src]) {
+      if (msg.dst >= k_) {
+        throw std::out_of_range("Network::deliver: bad destination machine");
+      }
+      if (msg.dst == src) {
+        throw std::logic_error(
+            "Network::deliver: self-addressed message (use local state)");
+      }
+      msg.src = static_cast<std::uint32_t>(src);
+      const std::uint64_t sz = msg.size_bits();
+      const std::size_t link = src * k_ + msg.dst;
+      if (link_bits_[link] == 0) touched_links_.push_back(link);
+      link_bits_[link] += sz;
+      stats.bits += sz;
+      ++stats.messages;
+      if (src < send_bits.size()) send_bits[src] += sz;
+      if (msg.dst < recv_bits.size()) recv_bits[msg.dst] += sz;
+      inboxes[msg.dst].push_back(std::move(msg));
+    }
+    outboxes[src].clear();
+  }
+  for (const std::size_t link : touched_links_) {
+    stats.max_link_bits = std::max(stats.max_link_bits, link_bits_[link]);
+    link_bits_[link] = 0;
+  }
+  touched_links_.clear();
+  if (stats.messages > 0) {
+    stats.any = true;
+    stats.rounds = std::max<std::uint64_t>(
+        1, ceil_div(stats.max_link_bits, bandwidth_));
+  }
+  return stats;
+}
+
+}  // namespace km

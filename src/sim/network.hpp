@@ -1,0 +1,52 @@
+// Complete point-to-point network with per-link bandwidth accounting.
+//
+// Section 1.1: k machines are pairwise interconnected; each link delivers
+// at most B bits per round.  A superstep's traffic therefore takes
+// max over ordered links (i,j) of ceil(bits_ij / B) rounds.  deliver()
+// moves messages from per-source outboxes to per-destination inboxes
+// (deterministic order: ascending source, then send order) and returns the
+// round charge.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace km {
+
+struct DeliveryStats {
+  std::uint64_t rounds = 0;  ///< max over links of ceil(bits/B); >=1 if any
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t max_link_bits = 0;
+  bool any = false;
+};
+
+class Network {
+ public:
+  /// bandwidth_bits is B; must be >= 1.
+  Network(std::size_t k, std::uint64_t bandwidth_bits);
+
+  std::size_t k() const noexcept { return k_; }
+  std::uint64_t bandwidth_bits() const noexcept { return bandwidth_; }
+
+  /// Moves all messages from outboxes (indexed by source) into inboxes
+  /// (indexed by destination) and computes the round charge.
+  /// send_bits/recv_bits (length k) are incremented per machine.
+  /// Self-addressed messages are rejected (throw): machines talk to
+  /// themselves via local state, not the network.
+  DeliveryStats deliver(std::vector<std::vector<Message>>& outboxes,
+                        std::vector<std::vector<Message>>& inboxes,
+                        std::span<std::uint64_t> send_bits,
+                        std::span<std::uint64_t> recv_bits);
+
+ private:
+  std::size_t k_;
+  std::uint64_t bandwidth_;
+  std::vector<std::uint64_t> link_bits_;      // k*k scratch
+  std::vector<std::size_t> touched_links_;    // indices used this superstep
+};
+
+}  // namespace km

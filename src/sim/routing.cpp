@@ -1,0 +1,101 @@
+#include "sim/routing.hpp"
+
+#include "util/serialize.hpp"
+
+namespace km {
+
+std::vector<Message> route_direct(MachineContext& ctx,
+                                  std::vector<Message> msgs) {
+  std::vector<Message> local;
+  for (auto& m : msgs) {
+    if (m.dst == ctx.id()) {
+      local.push_back(std::move(m));  // free: never touches the network
+    } else {
+      ctx.send(m.dst, m.tag, std::move(m.payload));
+    }
+  }
+  auto result = ctx.exchange();
+  result.insert(result.end(), std::make_move_iterator(local.begin()),
+                std::make_move_iterator(local.end()));
+  return result;
+}
+
+std::vector<Message> route_via_random_intermediate(MachineContext& ctx,
+                                                   std::vector<Message> msgs) {
+  const std::size_t k = ctx.k();
+  // Hop 1: wrap each message in an envelope and send to a random machine.
+  // A message whose random intermediate equals the final destination (or
+  // ourselves) is forwarded directly/held locally to save a pointless hop.
+  std::vector<Message> hold;  // intermediate == self, or destination == self
+  for (auto& m : msgs) {
+    if (m.dst == ctx.id()) {
+      hold.push_back(std::move(m));
+      continue;
+    }
+    const std::size_t via = ctx.rng().below(k);
+    if (via == m.dst) {  // lands at destination in one hop anyway
+      ctx.send(m.dst, kRouteEnvelopeTag, [&] {
+        Writer w;
+        w.put_varint(m.dst);
+        w.put_varint(m.tag);
+        w.put_bytes(m.payload);
+        return w.take();
+      }());
+      continue;
+    }
+    if (via == ctx.id()) {
+      hold.push_back(std::move(m));
+      continue;
+    }
+    Writer w;
+    w.put_varint(m.dst);
+    w.put_varint(m.tag);
+    w.put_bytes(m.payload);
+    ctx.send(via, kRouteEnvelopeTag, w.take());
+  }
+
+  auto decode = [](const Message& env) {
+    Reader r(env.payload);
+    Message out;
+    out.dst = static_cast<std::uint32_t>(r.get_varint());
+    out.tag = static_cast<std::uint16_t>(r.get_varint());
+    out.payload.assign(env.payload.begin() +
+                           static_cast<std::ptrdiff_t>(env.payload.size() -
+                                                       r.remaining()),
+                       env.payload.end());
+    return out;
+  };
+
+  // Hop 2: forward everything that stopped here; keep what is for us.
+  std::vector<Message> result;
+  for (auto& env : ctx.exchange()) {
+    Message m = decode(env);
+    m.src = env.src;  // not meaningful after relay; kept for debugging
+    if (m.dst == ctx.id()) {
+      result.push_back(std::move(m));
+    } else {
+      Writer w;
+      w.put_varint(m.dst);
+      w.put_varint(m.tag);
+      w.put_bytes(m.payload);
+      ctx.send(m.dst, kRouteEnvelopeTag, w.take());
+    }
+  }
+  for (auto& m : hold) {
+    if (m.dst == ctx.id()) {
+      result.push_back(std::move(m));
+    } else {
+      Writer w;
+      w.put_varint(m.dst);
+      w.put_varint(m.tag);
+      w.put_bytes(m.payload);
+      ctx.send(m.dst, kRouteEnvelopeTag, w.take());
+    }
+  }
+  for (auto& env : ctx.exchange()) {
+    result.push_back(decode(env));
+  }
+  return result;
+}
+
+}  // namespace km

@@ -1,0 +1,33 @@
+// Message routing strategies (Lemma 13 and the randomized proxy idea).
+//
+// Lemma 13: in the complete k-machine network, if every machine sources
+// O(x) messages with independently random destinations (or every machine
+// sinks O(x) messages with random sources), direct routing over the
+// source->destination link delivers everything in O((x log x)/k) rounds
+// whp.  route_direct is that strategy (one superstep).
+//
+// When destinations are *not* random (skewed), Valiant-style two-hop
+// routing (route_via_random_intermediate) first sends each message to a
+// uniformly random intermediate machine, which forwards it; both hops then
+// satisfy the premise of Lemma 13.  Costs two supersteps.
+#pragma once
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+
+namespace km {
+
+/// One superstep: send every (dst, tag, payload) directly; returns the
+/// messages this machine received.
+std::vector<Message> route_direct(MachineContext& ctx,
+                                  std::vector<Message> msgs);
+
+/// Two supersteps: each message travels via a uniformly random
+/// intermediate machine.  The envelope (final destination + original tag)
+/// is charged against bandwidth like any other payload bytes.
+std::vector<Message> route_via_random_intermediate(MachineContext& ctx,
+                                                   std::vector<Message> msgs);
+
+}  // namespace km

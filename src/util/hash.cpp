@@ -1,0 +1,37 @@
+#include "util/hash.hpp"
+
+#include <algorithm>
+
+namespace km {
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_u64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_vertex(std::uint64_t seed, std::uint64_t vertex) noexcept {
+  return hash_u64(seed ^ hash_u64(vertex + 0x9e3779b97f4a7c15ULL));
+}
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept {
+  return h ^ (hash_u64(v) + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4));
+}
+
+std::uint64_t hash_edge(std::uint64_t seed, std::uint64_t u,
+                        std::uint64_t v) noexcept {
+  const auto lo = std::min(u, v);
+  const auto hi = std::max(u, v);
+  return hash_combine(hash_vertex(seed, lo), hi);
+}
+
+}  // namespace km

@@ -1,0 +1,28 @@
+// Hashing utilities. The random vertex partition (RVP) of the k-machine
+// model is conveniently implemented by hashing vertex IDs to machines
+// (Section 1.1 of the paper): any machine that knows a vertex ID also knows
+// its home machine.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace km {
+
+/// FNV-1a over a byte string (stable across platforms).
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Strong 64-bit integer hash (splitmix64 finalizer).
+std::uint64_t hash_u64(std::uint64_t x) noexcept;
+
+/// Seeded hash of a vertex ID; the basis of hash-based RVP.
+std::uint64_t hash_vertex(std::uint64_t seed, std::uint64_t vertex) noexcept;
+
+/// Combine two hashes (boost-style, 64-bit constants).
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept;
+
+/// Canonical hash of an undirected edge: order-independent.
+std::uint64_t hash_edge(std::uint64_t seed, std::uint64_t u,
+                        std::uint64_t v) noexcept;
+
+}  // namespace km

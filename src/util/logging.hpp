@@ -1,0 +1,42 @@
+// Tiny leveled logger. The simulator is multi-threaded; log lines are
+// serialized through a mutex so interleaved machine output stays readable.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace km {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Thread-safe write of one formatted line to stderr.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream();
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace km
+
+#define KM_LOG_DEBUG ::km::detail::LogStream(::km::LogLevel::kDebug)
+#define KM_LOG_INFO ::km::detail::LogStream(::km::LogLevel::kInfo)
+#define KM_LOG_WARN ::km::detail::LogStream(::km::LogLevel::kWarn)
+#define KM_LOG_ERROR ::km::detail::LogStream(::km::LogLevel::kError)

@@ -1,0 +1,124 @@
+#include "util/mathx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace km {
+
+std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return 64 - static_cast<std::uint32_t>(__builtin_clzll(x - 1));
+}
+
+std::uint32_t floor_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return 63 - static_cast<std::uint32_t>(__builtin_clzll(x));
+}
+
+std::uint64_t floor_cbrt(std::uint64_t x) noexcept {
+  if (x == 0) return 0;
+  auto c = static_cast<std::uint64_t>(std::cbrt(static_cast<double>(x)));
+  // Fix up floating point error in both directions.
+  while (c > 0 && c * c * c > x) --c;
+  while ((c + 1) * (c + 1) * (c + 1) <= x) ++c;
+  return c;
+}
+
+double binomial_coeff(std::uint64_t n, std::uint64_t r) noexcept {
+  if (r > n) return 0.0;
+  r = std::min(r, n - r);
+  double result = 1.0;
+  for (std::uint64_t i = 1; i <= r; ++i) {
+    result *= static_cast<double>(n - r + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+double binary_entropy(double p) noexcept {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double entropy_bits(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0) continue;
+    const double p = w / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double entropy_bits_counts(std::span<const std::uint64_t> counts) noexcept {
+  double total = 0.0;
+  for (auto c : counts) total += static_cast<double>(c);
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (auto c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+namespace {
+struct LogStats {
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  std::size_t n = 0;
+};
+
+LogStats accumulate(std::span<const double> x, std::span<const double> y) {
+  LogStats s;
+  const std::size_t n = std::min(x.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0) continue;
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    s.sx += lx;
+    s.sy += ly;
+    s.sxx += lx * lx;
+    s.syy += ly * ly;
+    s.sxy += lx * ly;
+    ++s.n;
+  }
+  return s;
+}
+}  // namespace
+
+double fit_log_log_slope(std::span<const double> x,
+                         std::span<const double> y) noexcept {
+  const LogStats s = accumulate(x, y);
+  if (s.n < 2) return 0.0;
+  const double n = static_cast<double>(s.n);
+  const double denom = n * s.sxx - s.sx * s.sx;
+  if (denom == 0.0) return 0.0;
+  return (n * s.sxy - s.sx * s.sy) / denom;
+}
+
+double log_log_correlation(std::span<const double> x,
+                           std::span<const double> y) noexcept {
+  const LogStats s = accumulate(x, y);
+  if (s.n < 2) return 0.0;
+  const double n = static_cast<double>(s.n);
+  const double cov = n * s.sxy - s.sx * s.sy;
+  const double vx = n * s.sxx - s.sx * s.sx;
+  const double vy = n * s.syy - s.sy * s.sy;
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+double min_edges_for_triangles(double t) noexcept {
+  if (t <= 0.0) return 0.0;
+  return std::pow(6.0 * t, 2.0 / 3.0) / 2.0;
+}
+
+double max_triangles_for_edges(double edges) noexcept {
+  if (edges <= 0.0) return 0.0;
+  return std::pow(2.0 * edges, 1.5) / 6.0;
+}
+
+}  // namespace km

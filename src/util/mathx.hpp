@@ -1,0 +1,60 @@
+// Small math helpers used throughout: integer logs, binomial coefficients,
+// entropy functions (the General Lower Bound Theorem is information
+// theoretic), and least-squares exponent fitting used by the benchmark
+// harness to report measured scaling exponents next to the paper's
+// predicted ones.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace km {
+
+/// ceil(log2(x)) for x >= 1; returns 0 for x <= 1.
+std::uint32_t ceil_log2(std::uint64_t x) noexcept;
+
+/// floor(log2(x)) for x >= 1.
+std::uint32_t floor_log2(std::uint64_t x) noexcept;
+
+/// floor(cbrt(x)) computed exactly on integers.
+std::uint64_t floor_cbrt(std::uint64_t x) noexcept;
+
+/// Integer ceiling division a/b, b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Binomial coefficient C(n, r) as double (exact for small arguments,
+/// avoids overflow for large ones).
+double binomial_coeff(std::uint64_t n, std::uint64_t r) noexcept;
+
+/// Binary entropy of a Bernoulli(p) bit, in bits. h(0)=h(1)=0.
+double binary_entropy(double p) noexcept;
+
+/// Shannon entropy (bits) of a discrete distribution given as
+/// (possibly unnormalized) nonnegative weights.
+double entropy_bits(std::span<const double> weights) noexcept;
+
+/// Empirical Shannon entropy (bits) of a sample of category counts.
+double entropy_bits_counts(std::span<const std::uint64_t> counts) noexcept;
+
+/// Least-squares fit of log(y) = a + b*log(x); returns the exponent b.
+/// Used to verify measured scaling exponents (e.g. rounds ~ k^-2).
+double fit_log_log_slope(std::span<const double> x,
+                         std::span<const double> y) noexcept;
+
+/// Pearson correlation of log(x) vs log(y); quality measure for the fit.
+double log_log_correlation(std::span<const double> x,
+                           std::span<const double> y) noexcept;
+
+/// Minimum number of edges any graph needs to contain `t` triangles.
+/// From the Kruskal–Katona / Rivin bound used in Lemma 11 of the paper:
+/// a graph with E edges has at most (2E)^{3/2}/6 triangles, hence
+/// E >= (6t)^{2/3} / 2.
+double min_edges_for_triangles(double t) noexcept;
+
+/// Maximum number of triangles representable with E edges: (2E)^{3/2}/6.
+double max_triangles_for_edges(double edges) noexcept;
+
+}  // namespace km

@@ -1,0 +1,35 @@
+// Minimal command-line option parsing for examples and tools.
+// Supports --name=value and --name value forms plus --help generation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace km {
+
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  /// True if --name was present at all (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  std::uint64_t get_uint(const std::string& name,
+                         std::uint64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non --flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace km

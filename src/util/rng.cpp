@@ -1,0 +1,111 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace km {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int s) noexcept {
+  return (x << s) | (x >> (64 - s));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept
+    : Rng(mix64(seed, stream)) {}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Lemire's method: multiply-shift with rejection to remove bias.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::real01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return real01() < p;
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) noexcept {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (n <= 32) {
+    std::uint64_t c = 0;
+    for (std::uint64_t i = 0; i < n; ++i) c += bernoulli(p) ? 1 : 0;
+    return c;
+  }
+  std::binomial_distribution<std::uint64_t> dist(n, p);
+  return dist(*this);
+}
+
+std::vector<std::uint64_t> Rng::sample_distinct(std::uint64_t bound,
+                                                std::size_t count) {
+  assert(count <= bound);
+  // Floyd's algorithm produces `count` distinct values in O(count) draws.
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::uint64_t j = bound - count; j < bound; ++j) {
+    const std::uint64_t t = below(j + 1);
+    if (std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    } else {
+      out.push_back(j);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace km

@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation for the k-machine simulator.
+//
+// Every machine in a simulation owns its own Rng seeded from
+// (global seed, machine id) via splitmix64, so simulation results are
+// reproducible regardless of thread scheduling.  The generator is
+// xoshiro256** (Blackman & Vigna), which is fast, has 256 bits of state and
+// passes BigCrush; it also models std::uniform_random_bit_generator so the
+// standard <random> distributions can be layered on top.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace km {
+
+/// splitmix64 step; used for seeding and cheap stateless mixing.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless mix of two words into one well-distributed word.
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// xoshiro256** generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words by iterating splitmix64 over `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Convenience: machine-local generator, seed derived from (seed, stream).
+  Rng(std::uint64_t seed, std::uint64_t stream) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased
+  /// (Lemire's nearly-divisionless rejection method).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double real01() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exact Binomial(n, p) sample. Uses direct simulation for small n and
+  /// std::binomial_distribution (BTPE-class) for large n.
+  std::uint64_t binomial(std::uint64_t n, double p) noexcept;
+
+  /// Fisher-Yates shuffle of a span.
+  template <typename T>
+  void shuffle(std::span<T> xs) noexcept {
+    for (std::size_t i = xs.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(xs[i - 1], xs[j]);
+    }
+  }
+
+  /// `count` distinct values sampled uniformly from [0, bound), sorted.
+  /// Requires count <= bound. Floyd's algorithm; O(count) expected work.
+  std::vector<std::uint64_t> sample_distinct(std::uint64_t bound,
+                                             std::size_t count);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace km

@@ -1,0 +1,94 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/mathx.hpp"
+
+namespace km {
+
+void Accumulator::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::imbalance() const noexcept {
+  const double mu = mean();
+  return mu > 0.0 ? max() / mu : 0.0;
+}
+
+std::string Accumulator::summary() const {
+  std::ostringstream os;
+  os << "n=" << n_ << " mean=" << mean() << " sd=" << stddev()
+     << " min=" << min() << " max=" << max();
+  return os.str();
+}
+
+double quantile(std::vector<double> xs, double q) noexcept {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Accumulator summarize(std::span<const double> xs) noexcept {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc;
+}
+
+void Log2Histogram::add(std::uint64_t x) noexcept {
+  const std::size_t bucket = (x == 0) ? 0 : 1 + floor_log2(x);
+  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+}
+
+std::string Log2Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto b : buckets_) peak = std::max(peak, b);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t lo = (i == 0) ? 0 : (1ULL << (i - 1));
+    const std::uint64_t hi = (i == 0) ? 0 : (1ULL << i) - 1;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(buckets_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    os << "[" << lo << "," << hi << "] " << std::string(bar, '#') << " "
+       << buckets_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace km

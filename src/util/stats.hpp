@@ -1,0 +1,58 @@
+// Lightweight descriptive statistics used by the metrics layer and the
+// benchmark harness (load balance checks, concentration-bound
+// verifications, per-machine maxima).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace km {
+
+/// Streaming accumulator: count / mean / variance (Welford) / min / max.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  void merge(const Accumulator& other) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// max/mean; 1.0 means perfectly balanced. Used for RVP balance checks.
+  double imbalance() const noexcept;
+
+  std::string summary() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Quantile of a sample (linear interpolation). q in [0,1].
+double quantile(std::vector<double> xs, double q) noexcept;
+
+/// Convenience: accumulate a span at once.
+Accumulator summarize(std::span<const double> xs) noexcept;
+
+/// Fixed-width log2 histogram for load distributions.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t x) noexcept;
+  std::string render(std::size_t width = 40) const;
+  const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace km

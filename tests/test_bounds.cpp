@@ -1,0 +1,169 @@
+// Tests for the General Lower Bound Theorem calculators (core/bounds.hpp):
+// formula shapes, scaling exponents and internal consistency.
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/mathx.hpp"
+
+namespace km {
+namespace {
+
+TEST(Bounds, GeneralTheoremFormula) {
+  const GeneralLowerBound lb{.entropy_bits = 1000.0,
+                             .info_cost_bits = 500.0,
+                             .bandwidth_bits = 10.0,
+                             .k = 5.0};
+  EXPECT_DOUBLE_EQ(lb.rounds(), 10.0);  // IC/(Bk) = 500/50
+  // Lemma 3: the transcript entropy budget (B+1)(k-1)T differs from BkT
+  // only by the (1+1/B)(1-1/k) factor, so at T = rounds() it covers IC
+  // up to that constant.
+  const double factor = (1.0 + 1.0 / lb.bandwidth_bits) *
+                        (1.0 - 1.0 / lb.k);
+  EXPECT_NEAR(lb.transcript_entropy_bits(lb.rounds()),
+              lb.info_cost_bits * factor, 1e-9);
+  // And with k > B the budget strictly covers IC.
+  const GeneralLowerBound wide{.entropy_bits = 1000.0,
+                               .info_cost_bits = 500.0,
+                               .bandwidth_bits = 10.0,
+                               .k = 12.0};
+  EXPECT_GE(wide.transcript_entropy_bits(wide.rounds()),
+            wide.info_cost_bits);
+}
+
+TEST(Bounds, PageRankBoundValues) {
+  const auto lb = pagerank_lower_bound(401, 4, 16);
+  EXPECT_DOUBLE_EQ(lb.entropy_bits, 100.0);      // m/4 = (n-1)/4
+  EXPECT_DOUBLE_EQ(lb.info_cost_bits, 25.0);     // m/4k
+  EXPECT_DOUBLE_EQ(lb.rounds(), 25.0 / (16 * 4));
+  EXPECT_FALSE(lb.derivation.empty());
+}
+
+TEST(Bounds, PageRankScalesAsNOverK2) {
+  // Fixed n, sweep k: rounds ~ k^{-2}.
+  std::vector<double> ks, rounds;
+  for (std::size_t k : {4, 8, 16, 32, 64}) {
+    ks.push_back(static_cast<double>(k));
+    rounds.push_back(pagerank_lower_bound(100001, k, 64).rounds());
+  }
+  EXPECT_NEAR(fit_log_log_slope(ks, rounds), -2.0, 1e-9);
+  // Fixed k, sweep n: rounds ~ n.
+  std::vector<double> ns, rounds_n;
+  for (std::size_t n : {1001, 2001, 4001, 8001}) {
+    ns.push_back(static_cast<double>(n));
+    rounds_n.push_back(pagerank_lower_bound(n, 8, 64).rounds());
+  }
+  EXPECT_NEAR(fit_log_log_slope(ns, rounds_n), 1.0, 1e-2);
+}
+
+TEST(Bounds, TriangleScalesAsK53) {
+  std::vector<double> ks, rounds;
+  for (std::size_t k : {8, 27, 64, 125, 216}) {
+    ks.push_back(static_cast<double>(k));
+    rounds.push_back(triangle_lower_bound(3000, k, 64).rounds());
+  }
+  EXPECT_NEAR(fit_log_log_slope(ks, rounds), -5.0 / 3.0, 1e-6);
+}
+
+TEST(Bounds, TriangleScalesAsN2) {
+  std::vector<double> ns, rounds;
+  for (std::size_t n : {1000, 2000, 4000, 8000}) {
+    ns.push_back(static_cast<double>(n));
+    rounds.push_back(triangle_lower_bound(n, 27, 64).rounds());
+  }
+  EXPECT_NEAR(fit_log_log_slope(ns, rounds), 2.0, 0.02);
+}
+
+TEST(Bounds, TriangleFromTMatchesDefaultAtGnpHalf) {
+  const std::size_t n = 2000, k = 27;
+  const double t = binomial_coeff(n, 3) / 8.0;
+  const auto a = triangle_lower_bound(n, k, 64);
+  const auto b = triangle_lower_bound_from_t(n, t, k, 64);
+  EXPECT_DOUBLE_EQ(a.rounds(), b.rounds());
+}
+
+TEST(Bounds, TriangleInfoCostIsRivinOfTOverK) {
+  const std::size_t n = 1000, k = 8;
+  const double t = binomial_coeff(n, 3) / 8.0;
+  const auto lb = triangle_lower_bound_from_t(n, t, k, 64);
+  EXPECT_DOUBLE_EQ(lb.info_cost_bits, min_edges_for_triangles(t / k));
+}
+
+TEST(Bounds, CongestedCliqueIsCubeRoot) {
+  // Corollary 1: with k=n rounds ~ n^{1/3}/B.
+  std::vector<double> ns, rounds;
+  for (std::size_t n : {1000, 8000, 64000}) {
+    ns.push_back(static_cast<double>(n));
+    rounds.push_back(congested_clique_triangle_lower_bound(n, 1).rounds());
+  }
+  EXPECT_NEAR(fit_log_log_slope(ns, rounds), 1.0 / 3.0, 0.01);
+}
+
+TEST(Bounds, MessageLowerBoundScalesAsK13) {
+  std::vector<double> ks, msgs;
+  for (std::size_t k : {8, 64, 512}) {
+    ks.push_back(static_cast<double>(k));
+    msgs.push_back(triangle_message_lower_bound(1000, k));
+  }
+  EXPECT_NEAR(fit_log_log_slope(ks, msgs), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Bounds, SortingAndMstScaleAsNOverK2) {
+  for (auto* fn : {&sorting_lower_bound, &mst_lower_bound}) {
+    std::vector<double> ks, rounds;
+    for (std::size_t k : {4, 16, 64}) {
+      ks.push_back(static_cast<double>(k));
+      rounds.push_back((*fn)(100000, k, 64).rounds());
+    }
+    EXPECT_NEAR(fit_log_log_slope(ks, rounds), -2.0, 1e-9);
+  }
+}
+
+TEST(Bounds, InfoCostNeverExceedsEntropy) {
+  // IC <= H[Z] is required by the theorem (used in its proof).
+  for (std::size_t n : {101, 1001, 10001}) {
+    for (std::size_t k : {4, 8, 64}) {
+      EXPECT_LE(pagerank_lower_bound(n, k, 64).info_cost_bits,
+                pagerank_lower_bound(n, k, 64).entropy_bits);
+      EXPECT_LE(triangle_lower_bound(n, k, 64).info_cost_bits,
+                triangle_lower_bound(n, k, 64).entropy_bits);
+      EXPECT_LE(sorting_lower_bound(n, k, 64).info_cost_bits,
+                sorting_lower_bound(n, k, 64).entropy_bits);
+    }
+  }
+}
+
+TEST(Bounds, UpperBoundsDominateLowerBounds) {
+  // The paper's upper and lower bounds match up to polylog factors; our
+  // unit-constant calculators must at least satisfy UB >= LB.
+  for (std::size_t k : {4, 8, 16, 64}) {
+    const std::size_t n = 10001;
+    EXPECT_GE(pagerank_upper_bound_rounds(n, k, 64),
+              pagerank_lower_bound(n, k, 64).rounds());
+    const std::size_t m = n * (n - 1) / 4;  // G(n,1/2)
+    EXPECT_GE(triangle_upper_bound_rounds(n, m, k, 64),
+              triangle_lower_bound(n, k, 64).rounds());
+  }
+}
+
+TEST(Bounds, UpperBoundGapIsPolylog) {
+  // UB/LB should grow slower than any fixed power of n (polylog check:
+  // the ratio at n=10^6 vs n=10^3 is far below the n-ratio itself).
+  const double gap_small = pagerank_upper_bound_rounds(1001, 8, 64) /
+                           pagerank_lower_bound(1001, 8, 64).rounds();
+  const double gap_large = pagerank_upper_bound_rounds(1000001, 8, 64) /
+                           pagerank_lower_bound(1000001, 8, 64).rounds();
+  EXPECT_LT(gap_large / gap_small, 10.0);
+}
+
+TEST(Bounds, MoreBandwidthLowersBound) {
+  EXPECT_GT(pagerank_lower_bound(10001, 8, 16).rounds(),
+            pagerank_lower_bound(10001, 8, 256).rounds());
+  EXPECT_GT(triangle_lower_bound(1000, 8, 16).rounds(),
+            triangle_lower_bound(1000, 8, 256).rounds());
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,162 @@
+// Tests for 4-clique enumeration (core/cliques.hpp): the paper's
+// "generalizes to other small subgraphs such as cliques" claim (§1.2).
+#include "core/cliques.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/mathx.hpp"
+
+namespace km {
+namespace {
+
+/// O(n^4) brute force for cross-checking the reference kernel.
+std::uint64_t brute_force_k4(const Graph& g) {
+  std::uint64_t count = 0;
+  const auto n = static_cast<Vertex>(g.num_vertices());
+  for (Vertex a = 0; a < n; ++a) {
+    for (Vertex b = a + 1; b < n; ++b) {
+      if (!g.has_edge(a, b)) continue;
+      for (Vertex x = b + 1; x < n; ++x) {
+        if (!g.has_edge(a, x) || !g.has_edge(b, x)) continue;
+        for (Vertex y = x + 1; y < n; ++y) {
+          if (g.has_edge(a, y) && g.has_edge(b, y) && g.has_edge(x, y)) {
+            ++count;
+          }
+        }
+      }
+    }
+  }
+  return count;
+}
+
+CliqueResult run(const Graph& g, std::size_t k, std::uint64_t seed,
+                 CliqueConfig cfg = {}) {
+  Engine engine(k, {.bandwidth_bits = EngineConfig::default_bandwidth(
+                        g.num_vertices()),
+                    .seed = seed});
+  Rng prng(seed ^ 0x4444);
+  const auto part = VertexPartition::random(g.num_vertices(), k, prng);
+  return distributed_four_cliques(g, part, engine, cfg);
+}
+
+TEST(CliqueRef, CompleteGraphCounts) {
+  for (std::size_t n : {4, 5, 6, 8, 10}) {
+    EXPECT_EQ(count_four_cliques(complete_graph(n)),
+              static_cast<std::uint64_t>(binomial_coeff(n, 4)))
+        << "K_" << n;
+  }
+}
+
+TEST(CliqueRef, K4FreeGraphs) {
+  EXPECT_EQ(count_four_cliques(path_graph(20)), 0u);
+  EXPECT_EQ(count_four_cliques(star_graph(20)), 0u);
+  EXPECT_EQ(count_four_cliques(cycle_graph(12)), 0u);
+  EXPECT_EQ(count_four_cliques(complete_graph(3)), 0u);
+  Rng rng(1);
+  EXPECT_EQ(count_four_cliques(random_bipartite(15, 15, 0.6, rng)), 0u);
+}
+
+class CliqueRefSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CliqueRefSweep, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const auto g = gnp(30, 0.4, rng);
+  EXPECT_EQ(count_four_cliques(g), brute_force_k4(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliqueRefSweep,
+                         ::testing::Values(2, 3, 4, 5));
+
+TEST(CliqueRef, EnumerationIsSortedAndValid) {
+  Rng rng(6);
+  const auto g = gnp(40, 0.35, rng);
+  const auto cs = enumerate_four_cliques(g);
+  EXPECT_TRUE(std::is_sorted(cs.begin(), cs.end()));
+  EXPECT_EQ(cs.size(), count_four_cliques(g));
+  for (const auto& c : cs) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        EXPECT_TRUE(g.has_edge(c[i], c[j]));
+      }
+    }
+    EXPECT_TRUE(c[0] < c[1] && c[1] < c[2] && c[2] < c[3]);
+  }
+}
+
+TEST(CliquesKm, SmallCompleteGraph) {
+  const auto res = run(complete_graph(10), 8, 7);
+  EXPECT_EQ(res.total, 210u);  // C(10,4)
+  EXPECT_EQ(res.merged_sorted(), enumerate_four_cliques(complete_graph(10)));
+}
+
+class CliquesKmSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(CliquesKmSweep, MatchesReferenceOnGnp) {
+  const auto [k, seed] = GetParam();
+  Rng rng(seed ^ 0x99);
+  const auto g = gnp(80, 0.3, rng);
+  const auto res = run(g, k, seed * 7 + 1);
+  EXPECT_EQ(res.total, count_four_cliques(g)) << "k=" << k;
+  EXPECT_EQ(res.merged_sorted(), enumerate_four_cliques(g));
+  EXPECT_EQ(res.metrics.dropped_messages, 0u);
+}
+
+TEST_P(CliquesKmSweep, MatchesReferenceOnWattsStrogatz) {
+  const auto [k, seed] = GetParam();
+  Rng rng(seed ^ 0xAA);
+  const auto g = watts_strogatz(150, 10, 0.1, rng);
+  const auto res = run(g, k, seed * 11 + 3);
+  EXPECT_EQ(res.total, count_four_cliques(g)) << "k=" << k;
+  EXPECT_EQ(res.merged_sorted(), enumerate_four_cliques(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KAndSeed, CliquesKmSweep,
+    ::testing::Combine(::testing::Values(2, 8, 16, 81),
+                       ::testing::Values(1, 2)));
+
+TEST(CliquesKm, EachCliqueReportedOnce) {
+  Rng rng(8);
+  const auto g = gnp(100, 0.25, rng);
+  const auto merged = run(g, 16, 9).merged_sorted();
+  EXPECT_EQ(std::adjacent_find(merged.begin(), merged.end()), merged.end());
+}
+
+TEST(CliquesKm, CountingWithoutRecording) {
+  Rng rng(10);
+  const auto g = gnp(70, 0.3, rng);
+  CliqueConfig cfg;
+  cfg.record_cliques = false;
+  const auto res = run(g, 8, 11, cfg);
+  EXPECT_EQ(res.total, count_four_cliques(g));
+  for (const auto& cs : res.per_machine_cliques) EXPECT_TRUE(cs.empty());
+}
+
+TEST(CliquesKm, ColorAndWorkerCounts) {
+  EXPECT_EQ(clique_color_count(1), 1u);
+  EXPECT_EQ(clique_color_count(15), 1u);
+  EXPECT_EQ(clique_color_count(16), 2u);
+  EXPECT_EQ(clique_color_count(80), 2u);
+  EXPECT_EQ(clique_color_count(81), 3u);
+  EXPECT_EQ(clique_color_count(256), 4u);
+  EXPECT_EQ(clique_worker_count(16), 5u);   // C(5,4)
+  EXPECT_EQ(clique_worker_count(81), 15u);  // C(6,4)
+  for (std::size_t k = 1; k < 600; ++k) {
+    EXPECT_LE(clique_worker_count(k), k) << k;
+  }
+}
+
+TEST(CliquesKm, DeterministicForFixedSeeds) {
+  Rng rng(12);
+  const auto g = gnp(60, 0.3, rng);
+  const auto a = run(g, 8, 13);
+  const auto b = run(g, 8, 13);
+  EXPECT_EQ(a.merged_sorted(), b.merged_sorted());
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,103 @@
+// Tests for the REP -> RVP conversion (core/conversion.hpp, footnote 3).
+#include "core/conversion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+
+namespace km {
+namespace {
+
+/// Ground truth: the RVP knowledge machine i should end with — every
+/// (u, v) with u owned by machine i and v adjacent to u.
+std::vector<std::vector<Edge>> expected_local_edges(
+    const Graph& g, const VertexPartition& vp) {
+  std::vector<std::vector<Edge>> out(vp.k());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v : g.neighbors(u)) {
+      out[vp.home(u)].emplace_back(u, v);
+    }
+  }
+  for (auto& edges : out) std::sort(edges.begin(), edges.end());
+  return out;
+}
+
+TEST(Conversion, ReproducesRvpKnowledge) {
+  Rng rng(1);
+  const auto g = gnp(120, 0.1, rng);
+  const std::size_t k = 8;
+  Rng prng(2);
+  const auto vp = VertexPartition::random(g.num_vertices(), k, prng);
+  const auto ep = EdgePartition::random(g.num_edges(), k, prng);
+  Engine engine(k, {.bandwidth_bits = 1024, .seed = 3});
+  const auto res = convert_rep_to_rvp(g, ep, vp, engine);
+  EXPECT_EQ(res.local_edges, expected_local_edges(g, vp));
+}
+
+TEST(Conversion, WorksWithHashPartitions) {
+  Rng rng(4);
+  const auto g = gnp(80, 0.15, rng);
+  const std::size_t k = 5;
+  const auto vp = VertexPartition::by_hash(g.num_vertices(), k, 99);
+  const auto ep = EdgePartition::by_hash(g.num_edges(), k, 77);
+  Engine engine(k, {.bandwidth_bits = 1024, .seed = 5});
+  const auto res = convert_rep_to_rvp(g, ep, vp, engine);
+  EXPECT_EQ(res.local_edges, expected_local_edges(g, vp));
+}
+
+class ConversionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConversionSweep, CorrectForAnyMachineCount) {
+  Rng rng(6);
+  const auto g = watts_strogatz(100, 4, 0.2, rng);
+  const std::size_t k = GetParam();
+  Rng prng(7);
+  const auto vp = VertexPartition::random(g.num_vertices(), k, prng);
+  const auto ep = EdgePartition::random(g.num_edges(), k, prng);
+  Engine engine(k, {.bandwidth_bits = 1024, .seed = 8});
+  const auto res = convert_rep_to_rvp(g, ep, vp, engine);
+  EXPECT_EQ(res.local_edges, expected_local_edges(g, vp));
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, ConversionSweep,
+                         ::testing::Values(2, 3, 4, 8, 16));
+
+TEST(Conversion, EmptyGraph) {
+  const auto g = Graph::from_edges(10, {});
+  const std::size_t k = 4;
+  Rng prng(9);
+  const auto vp = VertexPartition::random(10, k, prng);
+  const auto ep = EdgePartition::random(0, k, prng);
+  Engine engine(k, {.bandwidth_bits = 256, .seed = 10});
+  const auto res = convert_rep_to_rvp(g, ep, vp, engine);
+  for (const auto& edges : res.local_edges) EXPECT_TRUE(edges.empty());
+  EXPECT_EQ(res.metrics.rounds, 0u);
+}
+
+TEST(Conversion, MismatchedKThrows) {
+  Rng rng(11);
+  const auto g = gnp(20, 0.2, rng);
+  Rng prng(12);
+  const auto vp = VertexPartition::random(20, 4, prng);
+  const auto ep = EdgePartition::random(g.num_edges(), 8, prng);
+  Engine engine(4, {.bandwidth_bits = 256, .seed = 13});
+  EXPECT_THROW(convert_rep_to_rvp(g, ep, vp, engine), std::invalid_argument);
+}
+
+TEST(Conversion, TrafficIsBoundedByEdgeVolume) {
+  // Each edge travels to at most 2 machines: messages <= 2m.
+  Rng rng(14);
+  const auto g = gnp(100, 0.2, rng);
+  const std::size_t k = 8;
+  Rng prng(15);
+  const auto vp = VertexPartition::random(g.num_vertices(), k, prng);
+  const auto ep = EdgePartition::random(g.num_edges(), k, prng);
+  Engine engine(k, {.bandwidth_bits = 1024, .seed = 16});
+  const auto res = convert_rep_to_rvp(g, ep, vp, engine);
+  EXPECT_LE(res.metrics.messages, 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,80 @@
+// Unit tests for the directed CSR graph (graph/digraph.hpp).
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace km {
+namespace {
+
+TEST(Digraph, BasicArcs) {
+  const auto g = Digraph::from_arcs(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_arcs(), 3u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+}
+
+TEST(Digraph, InAndOutAdjacencyAgree) {
+  const auto g = Digraph::from_arcs(
+      5, {{0, 1}, {0, 2}, {1, 2}, {3, 2}, {2, 4}});
+  // Every arc (u,v): v in out(u) and u in in(v).
+  for (const auto& [u, v] : g.arc_list()) {
+    const auto outs = g.out_neighbors(u);
+    const auto ins = g.in_neighbors(v);
+    EXPECT_TRUE(std::binary_search(outs.begin(), outs.end(), v));
+    EXPECT_TRUE(std::binary_search(ins.begin(), ins.end(), u));
+  }
+  EXPECT_EQ(g.in_degree(2), 3u);
+  EXPECT_EQ(g.out_degree(2), 1u);
+}
+
+TEST(Digraph, AntiparallelArcsAreDistinct) {
+  const auto g = Digraph::from_arcs(2, {{0, 1}, {1, 0}});
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 0));
+}
+
+TEST(Digraph, DropsDuplicatesAndSelfLoops) {
+  const auto g = Digraph::from_arcs(3, {{0, 1}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.num_arcs(), 1u);
+}
+
+TEST(Digraph, OutOfRangeThrows) {
+  EXPECT_THROW(Digraph::from_arcs(2, {{0, 2}}), std::out_of_range);
+}
+
+TEST(Digraph, DanglingVertex) {
+  const auto g = Digraph::from_arcs(3, {{0, 2}, {1, 2}});
+  EXPECT_EQ(g.out_degree(2), 0u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+  EXPECT_TRUE(g.out_neighbors(2).empty());
+}
+
+TEST(Digraph, FromUndirectedDoublesEdges) {
+  const auto und = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  const auto g = Digraph::from_undirected(und);
+  EXPECT_EQ(g.num_arcs(), 4u);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 0));
+  EXPECT_TRUE(g.has_arc(1, 2));
+  EXPECT_TRUE(g.has_arc(2, 1));
+  for (Vertex v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.out_degree(v), und.degree(v));
+    EXPECT_EQ(g.in_degree(v), und.degree(v));
+  }
+}
+
+TEST(Digraph, ArcListIsSorted) {
+  const auto g = Digraph::from_arcs(4, {{3, 0}, {1, 2}, {0, 3}});
+  const auto arcs = g.arc_list();
+  EXPECT_TRUE(std::is_sorted(arcs.begin(), arcs.end()));
+  EXPECT_EQ(arcs.size(), 3u);
+}
+
+}  // namespace
+}  // namespace km

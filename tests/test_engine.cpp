@@ -1,0 +1,273 @@
+// Tests for the SPMD engine (sim/engine.hpp): exchange semantics, round
+// accounting, collectives, determinism and failure behaviour.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace km {
+namespace {
+
+TEST(Engine, SingleMachineNoCommunication) {
+  Engine engine(1, {.bandwidth_bits = 64, .seed = 1});
+  int ran = 0;
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    EXPECT_EQ(ctx.id(), 0u);
+    EXPECT_EQ(ctx.k(), 1u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(metrics.rounds, 0u);
+  EXPECT_EQ(metrics.messages, 0u);
+}
+
+TEST(Engine, PingPong) {
+  Engine engine(2, {.bandwidth_bits = 64, .seed = 1});
+  std::vector<std::uint64_t> got(2, 0);
+  engine.run([&](MachineContext& ctx) {
+    Writer w;
+    w.put_varint(100 + ctx.id());
+    ctx.send(1 - ctx.id(), 1, w);
+    const auto msgs = ctx.exchange();
+    ASSERT_EQ(msgs.size(), 1u);
+    Reader r(msgs[0].payload);
+    got[ctx.id()] = r.get_varint();
+    EXPECT_EQ(msgs[0].src, 1 - ctx.id());
+  });
+  EXPECT_EQ(got[0], 101u);
+  EXPECT_EQ(got[1], 100u);
+}
+
+TEST(Engine, RoundAccountingMatchesBandwidth) {
+  // One machine sends 10 messages of 48 bits to one destination with
+  // B = 48: 10 rounds.  A second superstep with one message adds 1.
+  Engine engine(3, {.bandwidth_bits = 48, .seed = 1});
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    if (ctx.id() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        Writer w;
+        w.put_u32(7);  // 16 header + 32 payload = 48 bits
+        ctx.send(1, 1, w);
+      }
+    }
+    ctx.exchange();
+    if (ctx.id() == 2) {
+      Writer w;
+      w.put_u32(9);
+      ctx.send(0, 2, w);
+    }
+    ctx.exchange();
+  });
+  EXPECT_EQ(metrics.rounds, 11u);
+  EXPECT_EQ(metrics.supersteps, 2u);
+  EXPECT_EQ(metrics.messages, 11u);
+  EXPECT_EQ(metrics.dropped_messages, 0u);
+}
+
+TEST(Engine, EmptySuperstepsChargeNoRounds) {
+  Engine engine(4, {.bandwidth_bits = 64, .seed = 1});
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    for (int i = 0; i < 5; ++i) ctx.exchange();
+  });
+  EXPECT_EQ(metrics.rounds, 0u);
+  EXPECT_EQ(metrics.supersteps, 5u);
+}
+
+TEST(Engine, BroadcastReachesEveryone) {
+  constexpr std::size_t kMachines = 5;
+  Engine engine(kMachines, {.bandwidth_bits = 1024, .seed = 1});
+  std::vector<std::uint64_t> received(kMachines, 0);
+  engine.run([&](MachineContext& ctx) {
+    Writer w;
+    w.put_varint(ctx.id());
+    ctx.broadcast(3, w);
+    for (const auto& msg : ctx.exchange()) {
+      Reader r(msg.payload);
+      received[ctx.id()] += r.get_varint() + 1;  // +1 distinguishes 0
+    }
+  });
+  // Each machine hears every other id once: sum over others (id+1).
+  for (std::size_t i = 0; i < kMachines; ++i) {
+    const std::uint64_t total = kMachines * (kMachines + 1) / 2;  // ids+1
+    EXPECT_EQ(received[i], total - (i + 1));
+  }
+}
+
+TEST(Engine, AllGatherCollective) {
+  constexpr std::size_t kMachines = 6;
+  Engine engine(kMachines, {.bandwidth_bits = 1024, .seed = 1});
+  engine.run([&](MachineContext& ctx) {
+    const auto values = ctx.all_gather(ctx.id() * 10);
+    ASSERT_EQ(values.size(), kMachines);
+    for (std::size_t i = 0; i < kMachines; ++i) EXPECT_EQ(values[i], i * 10);
+  });
+}
+
+TEST(Engine, AllReduceSumMaxOr) {
+  Engine engine(4, {.bandwidth_bits = 1024, .seed = 1});
+  engine.run([&](MachineContext& ctx) {
+    EXPECT_EQ(ctx.all_reduce_sum(ctx.id() + 1), 10u);       // 1+2+3+4
+    EXPECT_EQ(ctx.all_reduce_max(ctx.id() * 7), 21u);       // max
+    EXPECT_TRUE(ctx.all_reduce_or(ctx.id() == 2));          // one true
+    EXPECT_FALSE(ctx.all_reduce_or(false));                 // none true
+  });
+}
+
+TEST(Engine, CollectiveStashesAlgorithmMessages) {
+  // A message sent in the same superstep as a collective must not be
+  // lost: it is stashed and returned by the next exchange().
+  Engine engine(2, {.bandwidth_bits = 1024, .seed = 1});
+  engine.run([&](MachineContext& ctx) {
+    Writer w;
+    w.put_varint(42);
+    ctx.send(1 - ctx.id(), 9, w);
+    EXPECT_EQ(ctx.all_reduce_sum(1), 2u);
+    const auto msgs = ctx.exchange();
+    ASSERT_EQ(msgs.size(), 1u);
+    EXPECT_EQ(msgs[0].tag, 9u);
+    Reader r(msgs[0].payload);
+    EXPECT_EQ(r.get_varint(), 42u);
+  });
+}
+
+TEST(Engine, PerMachineRngIsIndependentAndDeterministic) {
+  std::vector<std::uint64_t> draw_a(3), draw_b(3);
+  for (auto* out : {&draw_a, &draw_b}) {
+    Engine engine(3, {.bandwidth_bits = 64, .seed = 99});
+    engine.run([&](MachineContext& ctx) {
+      (*out)[ctx.id()] = ctx.rng().next();
+    });
+  }
+  EXPECT_EQ(draw_a, draw_b);  // reproducible across runs
+  EXPECT_NE(draw_a[0], draw_a[1]);
+  EXPECT_NE(draw_a[1], draw_a[2]);
+}
+
+TEST(Engine, MetricsAreDeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine engine(4, {.bandwidth_bits = 96, .seed = 5});
+    return engine.run([&](MachineContext& ctx) {
+      for (int step = 0; step < 3; ++step) {
+        const auto count = ctx.rng().below(5);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          Writer w;
+          w.put_varint(i);
+          // Random destination, guaranteed distinct from self.
+          ctx.send((ctx.id() + 1 + ctx.rng().below(3)) % 4, 1, w);
+        }
+        ctx.exchange();
+      }
+    });
+  };
+  const auto m1 = run_once();
+  const auto m2 = run_once();
+  EXPECT_EQ(m1.rounds, m2.rounds);
+  EXPECT_EQ(m1.messages, m2.messages);
+  EXPECT_EQ(m1.bits, m2.bits);
+}
+
+TEST(Engine, UnevenFinishDoesNotDeadlock) {
+  // Machine 0 finishes immediately; the others keep exchanging.
+  Engine engine(3, {.bandwidth_bits = 1024, .seed = 1});
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    if (ctx.id() == 0) return;
+    for (int i = 0; i < 10; ++i) {
+      if (ctx.id() == 1) {
+        Writer w;
+        w.put_varint(i);
+        ctx.send(2, 1, w);
+      }
+      ctx.exchange();
+    }
+  });
+  EXPECT_EQ(metrics.dropped_messages, 0u);
+  EXPECT_GE(metrics.supersteps, 10u);
+}
+
+TEST(Engine, MessageToFinishedMachineIsDropped) {
+  Engine engine(2, {.bandwidth_bits = 1024, .seed = 1});
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    if (ctx.id() == 0) return;  // finishes before the send below lands
+    ctx.exchange();             // let machine 0 finish first
+    Writer w;
+    w.put_varint(1);
+    ctx.send(0, 1, w);
+    ctx.exchange();
+  });
+  EXPECT_EQ(metrics.dropped_messages, 1u);
+}
+
+TEST(Engine, ExceptionInMachinePropagates) {
+  Engine engine(3, {.bandwidth_bits = 64, .seed = 1});
+  EXPECT_THROW(engine.run([&](MachineContext& ctx) {
+                 if (ctx.id() == 1) throw std::runtime_error("boom");
+                 ctx.exchange();
+               }),
+               std::runtime_error);
+}
+
+TEST(Engine, SuperstepBudgetAborts) {
+  Engine engine(2, {.bandwidth_bits = 64, .seed = 1, .max_supersteps = 10});
+  EXPECT_THROW(engine.run([&](MachineContext& ctx) {
+                 while (true) ctx.exchange();  // runaway loop
+               }),
+               std::runtime_error);
+}
+
+TEST(Engine, SelfSendThrows) {
+  Engine engine(2, {.bandwidth_bits = 64, .seed = 1});
+  EXPECT_THROW(engine.run([&](MachineContext& ctx) {
+                 Writer w;
+                 w.put_varint(0);
+                 ctx.send(ctx.id(), 1, w);
+                 ctx.exchange();
+               }),
+               std::logic_error);
+}
+
+TEST(Engine, RecvBitsTrackPerMachineInformation) {
+  // Machine 2 receives everything: its recv_bits must equal total bits.
+  Engine engine(3, {.bandwidth_bits = 1024, .seed = 1});
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    if (ctx.id() != 2) {
+      Writer w;
+      w.put_u64(0xdeadbeef);
+      ctx.send(2, 1, w);
+    }
+    ctx.exchange();
+  });
+  EXPECT_EQ(metrics.recv_bits_per_machine[2], metrics.bits);
+  EXPECT_EQ(metrics.recv_bits_per_machine[0], 0u);
+  EXPECT_EQ(metrics.max_recv_bits(), metrics.bits);
+  EXPECT_EQ(metrics.send_bits_per_machine[0] +
+                metrics.send_bits_per_machine[1],
+            metrics.bits);
+}
+
+TEST(Engine, DefaultBandwidthIsPolylog) {
+  const auto b1k = EngineConfig::default_bandwidth(1024);
+  const auto b1m = EngineConfig::default_bandwidth(1 << 20);
+  EXPECT_EQ(b1k, 16u * 10 * 10);
+  EXPECT_EQ(b1m, 16u * 20 * 20);
+}
+
+TEST(Engine, ManyMachinesStress) {
+  // 64 machines, everyone talks to everyone (one superstep).
+  constexpr std::size_t kMachines = 64;
+  Engine engine(kMachines, {.bandwidth_bits = 4096, .seed = 1});
+  std::atomic<std::uint64_t> total{0};
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    Writer w;
+    w.put_varint(1);
+    ctx.broadcast(1, w);
+    total += ctx.exchange().size();
+  });
+  EXPECT_EQ(total.load(), kMachines * (kMachines - 1));
+  EXPECT_EQ(metrics.messages, kMachines * (kMachines - 1));
+  EXPECT_EQ(metrics.rounds, 1u);
+}
+
+}  // namespace
+}  // namespace km

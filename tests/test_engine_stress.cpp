@@ -1,0 +1,182 @@
+// Stress and failure-injection tests for the SPMD engine: randomized
+// traffic patterns must preserve the accounting invariants, and machine
+// failures at arbitrary points must propagate as exceptions without
+// deadlocking the barrier protocol.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/engine.hpp"
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace km {
+namespace {
+
+struct TrafficCase {
+  std::uint64_t seed;
+  std::size_t k;
+  std::uint64_t bandwidth;
+};
+
+class RandomTrafficSweep : public ::testing::TestWithParam<TrafficCase> {};
+
+TEST_P(RandomTrafficSweep, AccountingInvariantsHold) {
+  const auto [seed, k, bandwidth] = GetParam();
+  Engine engine(k, {.bandwidth_bits = bandwidth, .seed = seed});
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    const std::size_t steps = 3 + ctx.rng().below(4);
+    // Same per-machine RNG stream drives structure, so loop counts can
+    // differ; machines synchronize via a max-reduce on step count.
+    const std::uint64_t global_steps = ctx.all_reduce_max(steps);
+    for (std::uint64_t s = 0; s < global_steps; ++s) {
+      const std::uint64_t burst = ctx.rng().below(20);
+      for (std::uint64_t i = 0; i < burst; ++i) {
+        Writer w;
+        const std::uint64_t len = ctx.rng().below(32);
+        for (std::uint64_t b = 0; b < len; ++b) w.put_u8(0x5A);
+        if (ctx.k() > 1) {
+          ctx.send((ctx.id() + 1 + ctx.rng().below(ctx.k() - 1)) % ctx.k(),
+                   7, w);
+        }
+      }
+      ctx.exchange();
+    }
+  });
+  // Conservation: per-machine send/recv bits sum to total bits.
+  const auto sum = [](const std::vector<std::uint64_t>& v) {
+    return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  };
+  EXPECT_EQ(sum(metrics.send_bits_per_machine), metrics.bits);
+  EXPECT_EQ(sum(metrics.recv_bits_per_machine), metrics.bits);
+  EXPECT_EQ(metrics.dropped_messages, 0u);
+  // Round bounds: at least the single busiest link, at most "everything
+  // serialized through one link".
+  EXPECT_GE(metrics.rounds,
+            ceil_div(metrics.max_link_bits_superstep, bandwidth));
+  EXPECT_LE(metrics.rounds,
+            metrics.supersteps + ceil_div(metrics.bits, bandwidth));
+  // Messages can never beat one header per message in total bits.
+  EXPECT_GE(metrics.bits, metrics.messages * Message::kHeaderBits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RandomTrafficSweep,
+    ::testing::Values(TrafficCase{1, 2, 32}, TrafficCase{2, 3, 64},
+                      TrafficCase{3, 5, 64}, TrafficCase{4, 8, 128},
+                      TrafficCase{5, 16, 256}, TrafficCase{6, 32, 512},
+                      TrafficCase{7, 8, 1}, TrafficCase{8, 64, 1024}));
+
+class FailureInjectionSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FailureInjectionSweep, RandomCrashNeverDeadlocks) {
+  // One random machine throws at a random superstep; every run must end
+  // with the exception propagated (never a hang, never silent success).
+  const std::uint64_t seed = GetParam();
+  Rng meta(seed);
+  const std::size_t k = 2 + meta.below(8);
+  const std::size_t crasher = meta.below(k);
+  const std::size_t crash_step = meta.below(5);
+  Engine engine(k, {.bandwidth_bits = 128, .seed = seed});
+  EXPECT_THROW(
+      engine.run([&](MachineContext& ctx) {
+        for (std::size_t s = 0; s < 8; ++s) {
+          if (ctx.id() == crasher && s == crash_step) {
+            throw std::runtime_error("injected fault");
+          }
+          Writer w;
+          w.put_varint(s);
+          ctx.broadcast(1, w);
+          ctx.exchange();
+        }
+      }),
+      std::runtime_error);
+}
+
+TEST_P(FailureInjectionSweep, CrashDuringCollectiveNeverDeadlocks) {
+  const std::uint64_t seed = GetParam() ^ 0xFEED;
+  Rng meta(seed);
+  const std::size_t k = 2 + meta.below(6);
+  const std::size_t crasher = meta.below(k);
+  Engine engine(k, {.bandwidth_bits = 128, .seed = seed});
+  EXPECT_THROW(
+      engine.run([&](MachineContext& ctx) {
+        for (std::size_t s = 0; s < 5; ++s) {
+          if (ctx.id() == crasher && s == 2) {
+            throw std::logic_error("injected fault in collective loop");
+          }
+          ctx.all_reduce_sum(ctx.id());
+        }
+      }),
+      std::logic_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureInjectionSweep,
+                         ::testing::Values(10, 11, 12, 13, 14, 15, 16, 17));
+
+TEST(EngineStress, EngineIsReusableAcrossRuns) {
+  Engine engine(4, {.bandwidth_bits = 64, .seed = 9});
+  for (int run = 0; run < 5; ++run) {
+    const auto metrics = engine.run([&](MachineContext& ctx) {
+      Writer w;
+      w.put_varint(run);
+      ctx.broadcast(1, w);
+      ctx.exchange();
+    });
+    EXPECT_EQ(metrics.messages, 12u) << "run " << run;
+    EXPECT_EQ(metrics.rounds, 1u);
+  }
+}
+
+TEST(EngineStress, ReuseAfterFailureWorks) {
+  Engine engine(3, {.bandwidth_bits = 64, .seed = 10});
+  EXPECT_THROW(engine.run([](MachineContext& ctx) {
+                 if (ctx.id() == 0) throw std::runtime_error("boom");
+                 ctx.exchange();
+               }),
+               std::runtime_error);
+  // The engine must be in a clean state for the next run.
+  const auto metrics = engine.run([](MachineContext& ctx) {
+    Writer w;
+    w.put_varint(1);
+    ctx.broadcast(1, w);
+    ctx.exchange();
+  });
+  EXPECT_EQ(metrics.messages, 6u);
+}
+
+TEST(EngineStress, LargeMessagesRespectBandwidthExactly) {
+  // One 10,000-byte message over a 64-bit link: exactly
+  // ceil((16 + 80000)/64) rounds.
+  Engine engine(2, {.bandwidth_bits = 64, .seed = 11});
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    if (ctx.id() == 0) {
+      Writer w;
+      for (int i = 0; i < 10000; ++i) w.put_u8(1);
+      ctx.send(1, 1, w);
+    }
+    ctx.exchange();
+  });
+  EXPECT_EQ(metrics.rounds, ceil_div(16 + 80000, 64));
+}
+
+TEST(EngineStress, ManySmallSuperstepsAreCheap) {
+  // 1000 supersteps with one tiny message each: rounds == supersteps.
+  Engine engine(2, {.bandwidth_bits = 1024, .seed = 12});
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    for (int i = 0; i < 1000; ++i) {
+      if (ctx.id() == 0) {
+        Writer w;
+        w.put_u8(1);
+        ctx.send(1, 1, w);
+      }
+      ctx.exchange();
+    }
+  });
+  EXPECT_EQ(metrics.rounds, 1000u);
+  EXPECT_EQ(metrics.supersteps, 1000u);
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,162 @@
+// Tests for graph generators, including parameterized property sweeps
+// over seeds (the lower-bound inputs are sampled from these families).
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+
+namespace km {
+namespace {
+
+TEST(Generators, PathGraph) {
+  const auto g = path_graph(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CycleGraph) {
+  const auto g = cycle_graph(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Generators, StarGraph) {
+  const auto g = star_graph(10);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.degree(0), 9u);
+  for (Vertex v = 1; v < 10; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Generators, CompleteGraph) {
+  const auto g = complete_graph(7);
+  EXPECT_EQ(g.num_edges(), 21u);
+  for (Vertex v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 6u);
+}
+
+TEST(Generators, GridGraph) {
+  const auto g = grid_graph(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // Edges: 3*3 horizontal + 2*4 vertical = 17.
+  EXPECT_EQ(g.num_edges(), 17u);
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior (row 1, col 1)
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, GnpEdgeCases) {
+  Rng rng(1);
+  EXPECT_EQ(gnp(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gnp(10, 1.0, rng).num_edges(), 45u);  // = complete graph
+}
+
+TEST(Generators, GnpDirectedEdgeCases) {
+  Rng rng(2);
+  EXPECT_EQ(gnp_directed(20, 0.0, rng).num_arcs(), 0u);
+  EXPECT_EQ(gnp_directed(10, 1.0, rng).num_arcs(), 90u);
+}
+
+class GnpSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GnpSeedSweep, EdgeCountConcentrates) {
+  Rng rng(GetParam());
+  const std::size_t n = 400;
+  const double p = 0.1;
+  const auto g = gnp(n, p, rng);
+  const double expected = p * static_cast<double>(n) * (n - 1) / 2.0;
+  const double sd = std::sqrt(expected * (1 - p));
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 6 * sd);
+}
+
+TEST_P(GnpSeedSweep, DegreesConcentrate) {
+  Rng rng(GetParam() ^ 0xabc);
+  const std::size_t n = 500;
+  const double p = 0.2;
+  const auto g = gnp(n, p, rng);
+  const auto stats = degree_stats(g);
+  EXPECT_NEAR(stats.mean, p * (n - 1), 6 * std::sqrt(p * (1 - p) * (n - 1) / n));
+  // No degree strays absurdly far (6-sigma around np).
+  const double sd = std::sqrt(p * (1 - p) * (n - 1));
+  EXPECT_LT(static_cast<double>(stats.max), p * (n - 1) + 8 * sd);
+  EXPECT_GT(static_cast<double>(stats.min), p * (n - 1) - 8 * sd);
+}
+
+TEST_P(GnpSeedSweep, DirectedInOutBalance) {
+  Rng rng(GetParam() ^ 0xdef);
+  const auto g = gnp_directed(300, 0.15, rng);
+  std::size_t total_out = 0, total_in = 0;
+  for (Vertex v = 0; v < 300; ++v) {
+    total_out += g.out_degree(v);
+    total_in += g.in_degree(v);
+  }
+  EXPECT_EQ(total_out, total_in);
+  EXPECT_EQ(total_out, g.num_arcs());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GnpSeedSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 77, 1234));
+
+TEST(Generators, BarabasiAlbertShape) {
+  Rng rng(42);
+  const std::size_t n = 2000, attach = 3;
+  const auto g = barabasi_albert(n, attach, rng);
+  EXPECT_EQ(g.num_vertices(), n);
+  // m = C(attach,2) + (n - attach) * attach.
+  EXPECT_EQ(g.num_edges(), 3u + (n - attach) * attach);
+  EXPECT_TRUE(is_connected(g));
+  // Preferential attachment produces a heavy tail: max degree far above
+  // the mean.
+  const auto stats = degree_stats(g);
+  EXPECT_GT(static_cast<double>(stats.max), 5.0 * stats.mean);
+}
+
+TEST(Generators, BarabasiAlbertSmallN) {
+  Rng rng(43);
+  const auto g = barabasi_albert(3, 5, rng);
+  EXPECT_EQ(g.num_edges(), 3u);  // falls back to K_3
+}
+
+TEST(Generators, BarabasiAlbertZeroAttachThrows) {
+  Rng rng(44);
+  EXPECT_THROW(barabasi_albert(10, 0, rng), std::invalid_argument);
+}
+
+TEST(Generators, WattsStrogatzZeroBetaIsLattice) {
+  Rng rng(45);
+  const auto g = watts_strogatz(50, 4, 0.0, rng);
+  for (Vertex v = 0; v < 50; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, WattsStrogatzRewiringKeepsEdgeBudget) {
+  Rng rng(46);
+  const auto g = watts_strogatz(200, 6, 0.3, rng);
+  // Rewiring can only merge into existing edges, never add.
+  EXPECT_LE(g.num_edges(), 200u * 3u);
+  EXPECT_GT(g.num_edges(), 500u);
+}
+
+TEST(Generators, RandomBipartiteIsBipartite) {
+  Rng rng(47);
+  const auto g = random_bipartite(30, 40, 0.3, rng);
+  EXPECT_EQ(g.num_vertices(), 70u);
+  // No edge inside either part.
+  for (Vertex u = 0; u < 30; ++u) {
+    for (Vertex v : g.neighbors(u)) EXPECT_GE(v, 30u);
+  }
+  for (Vertex u = 30; u < 70; ++u) {
+    for (Vertex v : g.neighbors(u)) EXPECT_LT(v, 30u);
+  }
+}
+
+TEST(Generators, GnpDeterministicPerSeed) {
+  Rng a(123), b(123);
+  const auto g1 = gnp(100, 0.3, a);
+  const auto g2 = gnp(100, 0.3, b);
+  EXPECT_EQ(g1.edge_list(), g2.edge_list());
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,100 @@
+// Unit tests for the undirected CSR graph (graph/graph.hpp).
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace km {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const auto g = Graph::from_edges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, IsolatedVertices) {
+  const auto g = Graph::from_edges(5, {});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Graph, TriangleBasics) {
+  const auto g = Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, DropsDuplicatesAndSelfLoops) {
+  const auto g = Graph::from_edges(
+      4, {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_FALSE(g.has_edge(2, 2));
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  const auto g = Graph::from_edges(6, {{3, 5}, {3, 1}, {3, 4}, {3, 0}});
+  const auto ns = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(ns.begin(), ns.end()));
+  EXPECT_EQ(ns.size(), 4u);
+}
+
+TEST(Graph, OutOfRangeVertexThrows) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 2}}), std::out_of_range);
+  EXPECT_THROW(Graph::from_edges(2, {{5, 0}}), std::out_of_range);
+}
+
+TEST(Graph, EdgeListRoundTrip) {
+  const std::vector<Edge> edges{{0, 1}, {0, 3}, {1, 2}, {2, 3}};
+  const auto g = Graph::from_edges(4, edges);
+  EXPECT_EQ(g.edge_list(), edges);  // already canonical + sorted
+}
+
+TEST(Graph, EdgeListNormalizesOrientation) {
+  const auto g = Graph::from_edges(3, {{2, 0}, {1, 0}});
+  const std::vector<Edge> expected{{0, 1}, {0, 2}};
+  EXPECT_EQ(g.edge_list(), expected);
+}
+
+TEST(Graph, MaxDegree) {
+  const auto g = Graph::from_edges(5, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, InducedSubgraph) {
+  //  0-1-2-3 path, keep {0,1,3}: only edge (0,1) survives.
+  const auto g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto sub = g.induced({true, true, false, true});
+  EXPECT_EQ(sub.num_vertices(), 4u);
+  EXPECT_EQ(sub.num_edges(), 1u);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_FALSE(sub.has_edge(1, 2));
+  EXPECT_FALSE(sub.has_edge(2, 3));
+}
+
+TEST(Graph, HasEdgeOutOfRangeIsFalse) {
+  const auto g = Graph::from_edges(2, {{0, 1}});
+  EXPECT_FALSE(g.has_edge(0, 7));
+  EXPECT_FALSE(g.has_edge(9, 1));
+}
+
+TEST(Graph, LargeStarDegrees) {
+  std::vector<Edge> edges;
+  for (Vertex v = 1; v < 1000; ++v) edges.push_back({0, v});
+  const auto g = Graph::from_edges(1000, std::move(edges));
+  EXPECT_EQ(g.degree(0), 999u);
+  EXPECT_EQ(g.max_degree(), 999u);
+  EXPECT_EQ(g.num_edges(), 999u);
+}
+
+}  // namespace
+}  // namespace km

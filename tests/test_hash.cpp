@@ -1,0 +1,67 @@
+// Unit tests for hashing (util/hash.hpp), in particular the properties
+// the hash-based RVP relies on.
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace km {
+namespace {
+
+TEST(Hash, Fnv1aStableAndDiscriminating) {
+  EXPECT_EQ(fnv1a64("abc"), fnv1a64("abc"));
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+  EXPECT_NE(fnv1a64(""), fnv1a64("a"));
+}
+
+TEST(Hash, HashU64IsBijectiveOnSamples) {
+  // splitmix finalizer is a bijection; at least check injectivity on a
+  // decent sample.
+  std::vector<std::uint64_t> hashes;
+  for (std::uint64_t i = 0; i < 10000; ++i) hashes.push_back(hash_u64(i));
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
+}
+
+TEST(Hash, VertexHashDependsOnSeed) {
+  EXPECT_NE(hash_vertex(1, 42), hash_vertex(2, 42));
+  EXPECT_EQ(hash_vertex(1, 42), hash_vertex(1, 42));
+}
+
+TEST(Hash, VertexHashModKIsBalanced) {
+  // The RVP balance property (Section 1.1) hinges on this.
+  constexpr std::size_t kMachines = 16;
+  constexpr std::size_t kVertices = 64000;
+  std::vector<int> counts(kMachines, 0);
+  for (std::size_t v = 0; v < kVertices; ++v) {
+    ++counts[hash_vertex(99, v) % kMachines];
+  }
+  const double expected = static_cast<double>(kVertices) / kMachines;
+  for (int c : counts) EXPECT_NEAR(c, expected, 6 * std::sqrt(expected));
+}
+
+TEST(Hash, EdgeHashIsOrderIndependent) {
+  EXPECT_EQ(hash_edge(5, 10, 20), hash_edge(5, 20, 10));
+  EXPECT_NE(hash_edge(5, 10, 20), hash_edge(5, 10, 21));
+  EXPECT_NE(hash_edge(5, 10, 20), hash_edge(6, 10, 20));
+}
+
+TEST(Hash, EdgeHashParityBalanced) {
+  // The triangle designation tie-break uses the low bit of hash_edge.
+  int ones = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    ones += static_cast<int>(hash_edge(7, i, i + 1) & 1);
+  }
+  EXPECT_NEAR(ones, kSamples / 2, 4 * std::sqrt(kSamples / 4.0));
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  EXPECT_NE(hash_combine(hash_u64(1), 2), hash_combine(hash_u64(2), 1));
+}
+
+}  // namespace
+}  // namespace km

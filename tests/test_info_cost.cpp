@@ -1,0 +1,155 @@
+// Tests for the empirical information-cost module (core/info_cost.hpp):
+// the concentration statements of Lemmas 5, 10 and 11 on sampled inputs.
+#include "core/info_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/triangle_ref.hpp"
+#include "util/mathx.hpp"
+
+namespace km {
+namespace {
+
+TEST(InfoCost, KnownPathsOnRoundRobinPartition) {
+  // Deterministic check: with q=2 paths and a crafted partition we can
+  // count by hand.  Vertices: x=0..1, u=2..3, t=4..5, v=6..7, w=8.
+  PageRankLowerBoundGraph h(std::vector<std::uint8_t>{0, 1});
+  // Machine 0 gets {x0,t0} (reveals path 0) and machine 1 gets {u1,v1}.
+  std::vector<std::uint32_t> home{0, 2, 2, 1, 0, 2, 2, 1, 0};
+  // Build via by-hand partition: use round_robin then override through
+  // random with a fixed RNG is awkward; instead use identity-like
+  // construction through by_hash? Simplest: brute-force a seed is
+  // overkill — use the random() API with a crafted Rng is not possible,
+  // so check the counting logic on hash partitions statistically below
+  // and on the identity partition here.
+  const auto ident = VertexPartition::identity(h.n());
+  const auto counts = known_paths_per_machine(h, ident);
+  // One vertex per machine: no machine knows a pair.
+  for (auto c : counts) EXPECT_EQ(c, 0u);
+}
+
+TEST(InfoCost, KnownPathsAllOnOneMachine) {
+  PageRankLowerBoundGraph h(std::vector<std::uint8_t>{0, 1, 0});
+  const auto p = VertexPartition::round_robin(h.n(), 1);  // everything local
+  const auto counts = known_paths_per_machine(h, p);
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0], h.q());  // knows every path, counted once each
+}
+
+TEST(InfoCost, Lemma5ConcentrationUnderRvp) {
+  // Lemma 5: every machine knows O(n log n / k^2) paths whp.  Measure
+  // the max over machines and seeds and compare against the bound with
+  // a small constant.
+  const std::size_t q = 5000;  // n = 20001
+  const std::size_t k = 16;
+  Rng grng(1);
+  PageRankLowerBoundGraph h(q, grng);
+  const double n = static_cast<double>(h.n());
+  const double bound =
+      4.0 * n * std::log2(n) / (static_cast<double>(k) * k);
+  for (std::uint64_t seed : {10, 20, 30}) {
+    Rng prng(seed);
+    const auto part = VertexPartition::random(h.n(), k, prng);
+    const auto counts = known_paths_per_machine(h, part);
+    for (auto c : counts) {
+      EXPECT_LT(static_cast<double>(c), bound) << "seed=" << seed;
+    }
+    // Expected count per machine is ~ 2q/k^2; the total should be in
+    // that ballpark (both pair events have probability 1/k each).
+    std::uint64_t total = 0;
+    for (auto c : counts) total += c;
+    const double expected_total = 2.0 * static_cast<double>(q) / k;
+    EXPECT_NEAR(static_cast<double>(total), expected_total,
+                6 * std::sqrt(expected_total));
+  }
+}
+
+TEST(InfoCost, KnownEdgesExactOnSmallPartition) {
+  // K_4 on 2 machines, round robin: vertices {0,2} vs {1,3}.
+  const auto g = complete_graph(4);
+  const auto p = VertexPartition::round_robin(4, 2);
+  const auto counts = known_edges_per_machine(g, p);
+  // Every edge has an endpoint on each machine except (0,2) and (1,3).
+  // Machine 0 knows all edges incident to 0 or 2 = 5; machine 1 = 5.
+  EXPECT_EQ(counts[0], 5u);
+  EXPECT_EQ(counts[1], 5u);
+}
+
+TEST(InfoCost, Lemma10EdgeKnowledgeUnderRvp) {
+  // Each machine initially knows ~ 2m/k edges (each edge has two chances
+  // of hitting the machine); bound O(n^2 log n / k) holds with slack.
+  Rng grng(2);
+  const std::size_t n = 300;
+  const auto g = gnp(n, 0.5, grng);
+  const std::size_t k = 8;
+  Rng prng(3);
+  const auto part = VertexPartition::random(n, k, prng);
+  const auto counts = known_edges_per_machine(g, part);
+  const double m = static_cast<double>(g.num_edges());
+  const double expected = 2.0 * m / k - m / (k * static_cast<double>(k));
+  std::uint64_t total = 0;
+  for (auto c : counts) {
+    total += c;
+    EXPECT_LT(static_cast<double>(c), 2.0 * expected);
+    EXPECT_GT(static_cast<double>(c), 0.5 * expected);
+  }
+  // Sum over machines counts each edge once or twice.
+  EXPECT_GE(total, g.num_edges());
+  EXPECT_LE(total, 2 * g.num_edges());
+}
+
+TEST(InfoCost, LocalTrianglesExactOnTinyCases) {
+  const auto g = complete_graph(3);
+  // All on machine 0: it sees the single triangle.
+  EXPECT_EQ(local_triangles_per_machine(
+                g, VertexPartition::round_robin(3, 1))[0],
+            1u);
+  // One vertex per machine: nobody sees it.
+  const auto counts =
+      local_triangles_per_machine(g, VertexPartition::identity(3));
+  for (auto c : counts) EXPECT_EQ(c, 0u);
+  // Two machines: exactly one machine owns two corners.
+  const auto two =
+      local_triangles_per_machine(g, VertexPartition::round_robin(3, 2));
+  EXPECT_EQ(two[0] + two[1], 1u);
+}
+
+TEST(InfoCost, Lemma11LocalTrianglesAreMinority) {
+  // t3 = O~(n^3/k^{3/2}) vs t/k = Theta(n^3/k): locally known triangles
+  // are a vanishing fraction of a machine's output share as k grows.
+  Rng grng(4);
+  const std::size_t n = 250;
+  const auto g = gnp(n, 0.5, grng);
+  const std::size_t k = 16;
+  Rng prng(5);
+  const auto part = VertexPartition::random(n, k, prng);
+  const auto t3 = local_triangles_per_machine(g, part);
+  const double t = static_cast<double>(count_triangles(g));
+  std::uint64_t total_local = 0;
+  for (auto c : t3) total_local += c;
+  // Summed over machines: expected fraction of triangles with >= 2
+  // co-located corners is ~ 3/k; far below t.
+  EXPECT_LT(static_cast<double>(total_local), 6.0 * t / k);
+  // Per-machine: t3 << t/k for each machine.
+  for (auto c : t3) {
+    EXPECT_LT(static_cast<double>(c), 0.5 * t / k);
+  }
+}
+
+TEST(InfoCost, TriangleOutputInformationUsesRivin) {
+  EXPECT_DOUBLE_EQ(triangle_output_information_bits(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(triangle_output_information_bits(5, 10), 0.0);
+  EXPECT_DOUBLE_EQ(triangle_output_information_bits(1000, 0),
+                   min_edges_for_triangles(1000));
+  EXPECT_DOUBLE_EQ(triangle_output_information_bits(1000, 400),
+                   min_edges_for_triangles(600));
+}
+
+TEST(InfoCost, PageRankOutputInformationIsLinear) {
+  EXPECT_DOUBLE_EQ(pagerank_output_information_bits(100, 10), 90.0);
+  EXPECT_DOUBLE_EQ(pagerank_output_information_bits(5, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace km

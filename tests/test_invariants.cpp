@@ -1,0 +1,150 @@
+// Cross-cutting invariant tests: properties that must hold for *every*
+// distributed algorithm in the library, run against all of them on a
+// shared workload.  These are the "feasibility conditions" of Section
+// 1.1 (the union of machine outputs solves the problem) plus the cost
+// model's conservation laws.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/cliques.hpp"
+#include "core/mst.hpp"
+#include "core/pagerank.hpp"
+#include "core/sorting.hpp"
+#include "core/triangles.hpp"
+#include "graph/generators.hpp"
+#include "graph/pagerank_ref.hpp"
+#include "util/mathx.hpp"
+
+namespace km {
+namespace {
+
+void check_metrics_invariants(const Metrics& m, std::uint64_t bandwidth) {
+  const auto sum = [](const std::vector<std::uint64_t>& v) {
+    return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  };
+  EXPECT_EQ(sum(m.send_bits_per_machine), m.bits);
+  EXPECT_EQ(sum(m.recv_bits_per_machine), m.bits);
+  EXPECT_EQ(m.dropped_messages, 0u);
+  EXPECT_GE(m.rounds, ceil_div(m.max_link_bits_superstep, bandwidth));
+  EXPECT_GE(m.bits, m.messages * Message::kHeaderBits);
+  EXPECT_LE(m.rounds, m.supersteps + ceil_div(m.bits, bandwidth));
+}
+
+struct Workload {
+  Graph graph;
+  std::size_t k;
+  std::uint64_t bandwidth;
+  VertexPartition partition;
+};
+
+Workload make_workload(std::uint64_t seed, std::size_t k) {
+  Rng rng(seed);
+  Workload w{watts_strogatz(300, 8, 0.2, rng), k,
+             EngineConfig::default_bandwidth(300), {}};
+  Rng prng(seed + 1);
+  w.partition = VertexPartition::random(w.graph.num_vertices(), k, prng);
+  return w;
+}
+
+class InvariantSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InvariantSweep, PageRank) {
+  const auto w = make_workload(1, GetParam());
+  Engine engine(w.k, {.bandwidth_bits = w.bandwidth, .seed = 2});
+  const auto res =
+      distributed_pagerank(Digraph::from_undirected(w.graph), w.partition,
+                           engine, {.eps = 0.2, .c = 8.0});
+  check_metrics_invariants(res.metrics, w.bandwidth);
+  // Estimates are nonnegative and total mass ~ 1 (no dangling vertices).
+  double total = 0.0;
+  for (double x : res.estimates) {
+    EXPECT_GE(x, 0.0);
+    total += x;
+  }
+  EXPECT_NEAR(total, 1.0, 0.1);
+}
+
+TEST_P(InvariantSweep, Triangles) {
+  const auto w = make_workload(3, GetParam());
+  Engine engine(w.k, {.bandwidth_bits = w.bandwidth, .seed = 4});
+  const auto res = distributed_triangles(w.graph, w.partition, engine, {});
+  check_metrics_invariants(res.metrics, w.bandwidth);
+  // Per-machine counts sum to the total; merged triples are unique.
+  std::uint64_t sum = 0;
+  for (auto c : res.per_machine_counts) sum += c;
+  EXPECT_EQ(sum, res.total);
+  const auto merged = res.merged_sorted();
+  EXPECT_EQ(merged.size(), res.total);
+  EXPECT_EQ(std::adjacent_find(merged.begin(), merged.end()), merged.end());
+}
+
+TEST_P(InvariantSweep, FourCliques) {
+  const auto w = make_workload(5, GetParam());
+  Engine engine(w.k, {.bandwidth_bits = w.bandwidth, .seed = 6});
+  const auto res = distributed_four_cliques(w.graph, w.partition, engine, {});
+  check_metrics_invariants(res.metrics, w.bandwidth);
+  const auto merged = res.merged_sorted();
+  EXPECT_EQ(merged.size(), res.total);
+  EXPECT_EQ(std::adjacent_find(merged.begin(), merged.end()), merged.end());
+}
+
+TEST_P(InvariantSweep, Mst) {
+  const auto w = make_workload(7, GetParam());
+  Rng wrng(8);
+  const auto wg = WeightedGraph::randomize_weights(w.graph, 1000, wrng);
+  Engine engine(w.k, {.bandwidth_bits = w.bandwidth, .seed = 9});
+  const auto res = distributed_mst(wg, w.partition, engine);
+  check_metrics_invariants(res.metrics, w.bandwidth);
+  // A spanning forest has n - #components edges and no duplicates.
+  EXPECT_TRUE(std::is_sorted(res.edges.begin(), res.edges.end(),
+                             mst_edge_less));
+  std::uint64_t total = 0;
+  for (const auto& e : res.edges) total += e.weight;
+  EXPECT_EQ(total, res.total_weight);
+}
+
+TEST_P(InvariantSweep, Sorting) {
+  Rng rng(10);
+  std::vector<std::uint64_t> keys(5000);
+  for (auto& key : keys) key = rng.next();
+  Engine engine(GetParam(),
+                {.bandwidth_bits = EngineConfig::default_bandwidth(5000),
+                 .seed = 11});
+  const auto res = distributed_sample_sort(keys, engine);
+  check_metrics_invariants(res.metrics,
+                           EngineConfig::default_bandwidth(5000));
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, InvariantSweep,
+                         ::testing::Values(2, 4, 8, 16));
+
+class PageRankEpsDistributedSweep : public ::testing::TestWithParam<double> {
+};
+
+TEST_P(PageRankEpsDistributedSweep, TracksReferenceAcrossEps) {
+  // The reset probability is the algorithm's core parameter; the
+  // distributed estimate must track the exact fixpoint for any eps.
+  const double eps = GetParam();
+  Rng rng(12);
+  const auto g = Digraph::from_undirected(gnp(250, 0.06, rng));
+  const auto ref = expected_visit_pagerank(g, {.eps = eps});
+  Engine engine(8, {.bandwidth_bits = EngineConfig::default_bandwidth(250),
+                    .seed = 13});
+  Rng prng(14);
+  const auto part = VertexPartition::random(250, 8, prng);
+  const auto res =
+      distributed_pagerank(g, part, engine, {.eps = eps, .c = 24.0});
+  double err = 0.0, mass = 0.0;
+  for (std::size_t v = 0; v < ref.size(); ++v) {
+    err += std::abs(res.estimates[v] - ref[v]);
+    mass += ref[v];
+  }
+  EXPECT_LT(err / mass, 0.15) << "eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, PageRankEpsDistributedSweep,
+                         ::testing::Values(0.1, 0.15, 0.25, 0.4, 0.6));
+
+}  // namespace
+}  // namespace km

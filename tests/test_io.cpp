@@ -1,0 +1,80 @@
+// Tests for edge-list IO (graph/io.hpp).
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace km {
+namespace {
+
+TEST(Io, ReadSimpleEdgeList) {
+  std::istringstream in("0 1\n1 2\n2 0\n");
+  const auto g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Io, CommentsAndBlankLinesIgnored) {
+  std::istringstream in(
+      "# a comment\n"
+      "0 1  # trailing comment\n"
+      "\n"
+      "1 2\n");
+  const auto g = read_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, NonContiguousIdsAreCompacted) {
+  std::istringstream in("100 200\n200 300\n");
+  const auto g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, RoundTripUndirected) {
+  Rng rng(9);
+  const auto g = gnp(60, 0.2, rng);
+  std::ostringstream out;
+  write_edge_list(out, g);
+  std::istringstream in(out.str());
+  const auto g2 = read_edge_list(in);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  // IDs are written canonically so the edge sets agree exactly.
+  EXPECT_EQ(g2.edge_list(), g.edge_list());
+}
+
+TEST(Io, ReadArcListPreservesDirection) {
+  std::istringstream in("0 1\n2 1\n");
+  const auto g = read_arc_list(in);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+  EXPECT_TRUE(g.has_arc(2, 1));
+}
+
+TEST(Io, RoundTripDirected) {
+  Rng rng(10);
+  const auto g = gnp_directed(40, 0.15, rng);
+  std::ostringstream out;
+  write_arc_list(out, g);
+  std::istringstream in(out.str());
+  const auto g2 = read_arc_list(in);
+  EXPECT_EQ(g2.arc_list(), g.arc_list());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/file.txt"),
+               std::runtime_error);
+}
+
+TEST(Io, EmptyInput) {
+  std::istringstream in("");
+  const auto g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace km

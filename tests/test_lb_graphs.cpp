@@ -1,0 +1,123 @@
+// Tests for the PageRank lower-bound gadget (graph/lb_graphs.hpp),
+// verifying the structure of Figure 1 and the analytic PageRank values of
+// Lemma 4 against the exact expected-visit solver.
+#include "graph/lb_graphs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/pagerank_ref.hpp"
+#include "graph/properties.hpp"
+
+namespace km {
+namespace {
+
+TEST(LbGraph, StructureMatchesFigure1) {
+  Rng rng(1);
+  PageRankLowerBoundGraph h(16, rng);
+  const auto& g = h.graph();
+  EXPECT_EQ(h.n(), 65u);
+  EXPECT_EQ(g.num_vertices(), 65u);
+  EXPECT_EQ(g.num_arcs(), 64u);  // m = n-1
+  for (std::size_t i = 0; i < h.q(); ++i) {
+    EXPECT_TRUE(g.has_arc(h.u(i), h.t(i)));
+    EXPECT_TRUE(g.has_arc(h.t(i), h.v(i)));
+    EXPECT_TRUE(g.has_arc(h.v(i), h.w()));
+    if (h.bits()[i] == 0) {
+      EXPECT_TRUE(g.has_arc(h.u(i), h.x(i)));
+      EXPECT_FALSE(g.has_arc(h.x(i), h.u(i)));
+    } else {
+      EXPECT_TRUE(g.has_arc(h.x(i), h.u(i)));
+      EXPECT_FALSE(g.has_arc(h.u(i), h.x(i)));
+    }
+  }
+  EXPECT_EQ(g.out_degree(h.w()), 0u);  // w is the sink
+  EXPECT_TRUE(is_weakly_connected(g));
+}
+
+TEST(LbGraph, DeterministicConstructionFromBits) {
+  const std::vector<std::uint8_t> bits{0, 1, 1, 0};
+  PageRankLowerBoundGraph h(bits);
+  EXPECT_EQ(h.q(), 4u);
+  EXPECT_EQ(h.bits(), bits);
+  EXPECT_TRUE(h.graph().has_arc(h.u(0), h.x(0)));
+  EXPECT_TRUE(h.graph().has_arc(h.x(1), h.u(1)));
+}
+
+TEST(LbGraph, EmptyBitsThrows) {
+  EXPECT_THROW(PageRankLowerBoundGraph(std::vector<std::uint8_t>{}),
+               std::invalid_argument);
+}
+
+class Lemma4Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma4Sweep, AnalyticValuesMatchExactSolver) {
+  // Lemma 4's closed forms for PageRank(v_i) must agree with the exact
+  // expected-visit fixpoint on the actual graph, for both bit values.
+  const double eps = GetParam();
+  const std::vector<std::uint8_t> bits{0, 1, 0, 1, 1, 0, 1, 0};
+  PageRankLowerBoundGraph h(bits);
+  const auto pi =
+      expected_visit_pagerank(h.graph(), {.eps = eps, .tolerance = 1e-14});
+  for (std::size_t i = 0; i < h.q(); ++i) {
+    EXPECT_NEAR(pi[h.v(i)], h.expected_pagerank_v(eps, bits[i]), 1e-10)
+        << "i=" << i << " bit=" << static_cast<int>(bits[i]);
+  }
+}
+
+TEST_P(Lemma4Sweep, ConstantFactorSeparation) {
+  // Lemma 4: for any eps < 1 there is a constant-factor gap between the
+  // two cases, so the direction bit is decodable from PageRank(v_i).
+  const double eps = GetParam();
+  PageRankLowerBoundGraph h(std::vector<std::uint8_t>{0});
+  const double lo = h.expected_pagerank_v(eps, 0);
+  const double hi = h.expected_pagerank_v(eps, 1);
+  EXPECT_GT(hi / lo, 1.1);
+  EXPECT_LT(hi / lo, 2.0);
+  const double thr = h.decision_threshold(eps);
+  EXPECT_GT(thr, lo);
+  EXPECT_LT(thr, hi);
+  EXPECT_EQ(h.decode_bit(eps, lo), 0);
+  EXPECT_EQ(h.decode_bit(eps, hi), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, Lemma4Sweep,
+                         ::testing::Values(0.1, 0.15, 0.2, 0.3, 0.5));
+
+TEST(LbGraph, PaperConstantsAtSmallEps) {
+  // The paper states PageRank(v_i) = eps(2.5 - 2eps + eps^2/2)/n for
+  // b=0 and >= eps(3 - 3eps + eps^2)/n for b=1.
+  PageRankLowerBoundGraph h(std::vector<std::uint8_t>{0, 1});
+  const double eps = 0.2;
+  const double n = static_cast<double>(h.n());
+  EXPECT_NEAR(h.expected_pagerank_v(eps, 0),
+              eps * (2.5 - 2 * eps + eps * eps / 2) / n, 1e-12);
+  EXPECT_GE(h.expected_pagerank_v(eps, 1),
+            eps * (3 - 3 * eps + eps * eps) / n - 1e-12);
+}
+
+TEST(LbGraph, FlippingOneBitOnlyMovesThatPath) {
+  std::vector<std::uint8_t> bits{0, 0, 0, 0};
+  PageRankLowerBoundGraph h0(bits);
+  bits[2] = 1;
+  PageRankLowerBoundGraph h1(bits);
+  const auto p0 = expected_visit_pagerank(h0.graph(), {.eps = 0.2});
+  const auto p1 = expected_visit_pagerank(h1.graph(), {.eps = 0.2});
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i == 2) {
+      EXPECT_GT(p1[h1.v(i)], p0[h0.v(i)] * 1.1);
+    } else {
+      EXPECT_NEAR(p1[h1.v(i)], p0[h0.v(i)], 1e-12);
+    }
+  }
+}
+
+TEST(LbGraph, RandomBitsAreBalanced) {
+  Rng rng(99);
+  PageRankLowerBoundGraph h(4000, rng);
+  std::size_t ones = 0;
+  for (auto b : h.bits()) ones += b;
+  EXPECT_NEAR(static_cast<double>(ones), 2000.0, 6 * std::sqrt(1000.0));
+}
+
+}  // namespace
+}  // namespace km

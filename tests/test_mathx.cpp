@@ -1,0 +1,161 @@
+// Unit tests for math helpers (util/mathx.hpp), including the
+// Rivin/Kruskal-Katona bound used by Lemma 11.
+#include "util/mathx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace km {
+namespace {
+
+TEST(Mathx, CeilLog2) {
+  EXPECT_EQ(ceil_log2(0), 0u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+  EXPECT_EQ(ceil_log2(1ULL << 63), 63u);
+}
+
+TEST(Mathx, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+}
+
+TEST(Mathx, FloorCbrtExact) {
+  EXPECT_EQ(floor_cbrt(0), 0u);
+  EXPECT_EQ(floor_cbrt(1), 1u);
+  EXPECT_EQ(floor_cbrt(7), 1u);
+  EXPECT_EQ(floor_cbrt(8), 2u);
+  EXPECT_EQ(floor_cbrt(26), 2u);
+  EXPECT_EQ(floor_cbrt(27), 3u);
+  EXPECT_EQ(floor_cbrt(63), 3u);
+  EXPECT_EQ(floor_cbrt(64), 4u);
+  EXPECT_EQ(floor_cbrt(124), 4u);
+  EXPECT_EQ(floor_cbrt(125), 5u);
+  EXPECT_EQ(floor_cbrt(215), 5u);
+  EXPECT_EQ(floor_cbrt(216), 6u);
+  // Exhaustive sanity over a range.
+  for (std::uint64_t x = 0; x < 2000; ++x) {
+    const auto c = floor_cbrt(x);
+    EXPECT_LE(c * c * c, x);
+    EXPECT_GT((c + 1) * (c + 1) * (c + 1), x);
+  }
+}
+
+TEST(Mathx, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+  EXPECT_EQ(ceil_div(5, 5), 1u);
+  EXPECT_EQ(ceil_div(6, 5), 2u);
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+}
+
+TEST(Mathx, BinomialCoeff) {
+  EXPECT_DOUBLE_EQ(binomial_coeff(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coeff(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coeff(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial_coeff(10, 3), 120.0);
+  EXPECT_DOUBLE_EQ(binomial_coeff(3, 5), 0.0);
+  EXPECT_NEAR(binomial_coeff(100, 2), 4950.0, 1e-9);
+  EXPECT_NEAR(binomial_coeff(1000, 3), 166167000.0, 1.0);
+}
+
+TEST(Mathx, BinaryEntropy) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+  EXPECT_NEAR(binary_entropy(0.25), 0.811278, 1e-5);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.3), binary_entropy(0.7));
+}
+
+TEST(Mathx, EntropyOfUniformDistribution) {
+  std::vector<double> uniform(8, 1.0);
+  EXPECT_NEAR(entropy_bits(uniform), 3.0, 1e-12);
+  std::vector<double> point{1.0, 0.0, 0.0};
+  EXPECT_NEAR(entropy_bits(point), 0.0, 1e-12);
+}
+
+TEST(Mathx, EntropyIgnoresScaling) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{10.0, 20.0, 30.0};
+  EXPECT_NEAR(entropy_bits(a), entropy_bits(b), 1e-12);
+}
+
+TEST(Mathx, EntropyCountsMatchesWeights) {
+  std::vector<std::uint64_t> counts{1, 2, 3};
+  std::vector<double> weights{1.0, 2.0, 3.0};
+  EXPECT_NEAR(entropy_bits_counts(counts), entropy_bits(weights), 1e-12);
+}
+
+TEST(Mathx, EntropyEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(entropy_bits({}), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_bits_counts({}), 0.0);
+}
+
+TEST(Mathx, FitLogLogSlopeRecoversExponent) {
+  // y = 3 x^{-2}  ->  slope -2.
+  std::vector<double> x{1, 2, 4, 8, 16, 32};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(3.0 / (xi * xi));
+  EXPECT_NEAR(fit_log_log_slope(x, y), -2.0, 1e-9);
+  EXPECT_NEAR(log_log_correlation(x, y), -1.0, 1e-9);
+}
+
+TEST(Mathx, FitLogLogSlopeFractionalExponent) {
+  // y = x^{5/3}.
+  std::vector<double> x{1, 8, 27, 64, 125};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(std::pow(xi, 5.0 / 3.0));
+  EXPECT_NEAR(fit_log_log_slope(x, y), 5.0 / 3.0, 1e-9);
+}
+
+TEST(Mathx, FitLogLogDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(fit_log_log_slope({}, {}), 0.0);
+  std::vector<double> one{2.0};
+  EXPECT_DOUBLE_EQ(fit_log_log_slope(one, one), 0.0);
+  std::vector<double> with_zero{0.0, 2.0, 4.0};
+  std::vector<double> ys{1.0, 2.0, 4.0};
+  // Zero x entries are skipped, not crashed on.
+  EXPECT_NO_FATAL_FAILURE(fit_log_log_slope(with_zero, ys));
+}
+
+TEST(Mathx, RivinBoundInversesConsistently) {
+  // min_edges_for_triangles and max_triangles_for_edges are inverses.
+  for (double t : {1.0, 10.0, 1000.0, 1e6}) {
+    const double e = min_edges_for_triangles(t);
+    EXPECT_NEAR(max_triangles_for_edges(e), t, t * 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(min_edges_for_triangles(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(max_triangles_for_edges(0.0), 0.0);
+}
+
+TEST(Mathx, RivinBoundHoldsForCompleteGraph) {
+  // K_n has C(n,2) edges and C(n,3) triangles; the bound must allow it:
+  // C(n,3) <= (2 C(n,2))^{3/2} / 6.
+  for (std::uint64_t n : {4ULL, 10ULL, 50ULL, 200ULL}) {
+    const double edges = binomial_coeff(n, 2);
+    const double triangles = binomial_coeff(n, 3);
+    EXPECT_LE(triangles, max_triangles_for_edges(edges) * (1 + 1e-12)) << n;
+    EXPECT_LE(min_edges_for_triangles(triangles), edges * (1 + 1e-12)) << n;
+  }
+}
+
+TEST(Mathx, RivinBoundGrowsAsTwoThirdsPower) {
+  std::vector<double> t{100, 1000, 10000, 100000};
+  std::vector<double> e;
+  for (double ti : t) e.push_back(min_edges_for_triangles(ti));
+  EXPECT_NEAR(fit_log_log_slope(t, e), 2.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,206 @@
+// Tests for distributed Boruvka MST and connected components
+// (core/mst.hpp): exact agreement with the Kruskal reference / BFS
+// components across topologies, machine counts and seeds — including
+// the paper's MST lower-bound input family (complete graphs with random
+// weights, Section 1.3).
+#include "core/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace km {
+namespace {
+
+DistributedMstResult run_mst(const WeightedGraph& g, std::size_t k,
+                             std::uint64_t seed) {
+  Engine engine(k, {.bandwidth_bits = EngineConfig::default_bandwidth(
+                        std::max<std::size_t>(g.num_vertices(), 2)),
+                    .seed = seed});
+  Rng prng(seed ^ 0xAAAA);
+  const auto part = VertexPartition::random(g.num_vertices(), k, prng);
+  return distributed_mst(g, part, engine);
+}
+
+void expect_matches_kruskal(const WeightedGraph& g, std::size_t k,
+                            std::uint64_t seed) {
+  const auto expected = kruskal_mst(g);
+  const auto got = run_mst(g, k, seed);
+  EXPECT_EQ(got.edges, expected.edges);
+  EXPECT_EQ(got.total_weight, expected.total_weight);
+  EXPECT_EQ(got.metrics.dropped_messages, 0u);
+}
+
+TEST(MstKm, KnownSmallInstance) {
+  const auto g =
+      WeightedGraph::from_edges(3, {{0, 1, 1}, {1, 2, 2}, {0, 2, 9}});
+  expect_matches_kruskal(g, 2, 1);
+}
+
+TEST(MstKm, PathAndCycleAndStar) {
+  Rng rng(2);
+  expect_matches_kruskal(
+      WeightedGraph::randomize_weights(path_graph(50), 100, rng), 4, 3);
+  expect_matches_kruskal(
+      WeightedGraph::randomize_weights(cycle_graph(60), 100, rng), 4, 4);
+  expect_matches_kruskal(
+      WeightedGraph::randomize_weights(star_graph(40), 100, rng), 4, 5);
+}
+
+TEST(MstKm, CompleteGraphWithRandomWeights) {
+  // The paper's lower-bound family for MST (Section 1.3).
+  Rng rng(6);
+  const auto g = WeightedGraph::complete_random(60, 1000, rng);
+  expect_matches_kruskal(g, 8, 7);
+}
+
+TEST(MstKm, DisconnectedGraphGivesForest) {
+  // Two components plus isolated vertices.
+  Rng rng(8);
+  std::vector<WeightedEdge> edges;
+  for (const auto& [u, v] : gnp(30, 0.3, rng).edge_list()) {
+    edges.push_back({u, v, 1 + rng.below(50)});
+  }
+  for (const auto& [u, v] : gnp(30, 0.3, rng).edge_list()) {
+    edges.push_back({static_cast<Vertex>(u + 30),
+                     static_cast<Vertex>(v + 30), 1 + rng.below(50)});
+  }
+  const auto g = WeightedGraph::from_edges(65, std::move(edges));  // 60..64 isolated
+  expect_matches_kruskal(g, 4, 9);
+}
+
+TEST(MstKm, HeavyDuplicateWeights) {
+  // Ties everywhere: the unique tie-break order must keep both sides
+  // consistent (duplicate-MOE deduplication is exercised heavily).
+  Rng rng(10);
+  const auto g =
+      WeightedGraph::randomize_weights(gnp(80, 0.2, rng), 2, rng);
+  expect_matches_kruskal(g, 8, 11);
+}
+
+class MstSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(MstSweep, MatchesKruskalOnGnp) {
+  const auto [k, seed] = GetParam();
+  Rng rng(seed);
+  const auto g =
+      WeightedGraph::randomize_weights(gnp(100, 0.1, rng), 500, rng);
+  expect_matches_kruskal(g, k, seed * 31 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KAndSeed, MstSweep,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(MstKm, FragmentLabelsAreConsistent) {
+  // After termination every vertex's fragment must be its component's
+  // unique root.
+  Rng rng(12);
+  const auto base = gnp(70, 0.08, rng);
+  const auto g = WeightedGraph::randomize_weights(base, 100, rng);
+  const auto res = run_mst(g, 4, 13);
+  const auto comps = connected_components(base);
+  std::map<std::uint32_t, std::uint32_t> frag_of_comp;
+  for (Vertex v = 0; v < base.num_vertices(); ++v) {
+    const auto [it, inserted] =
+        frag_of_comp.emplace(comps[v], res.fragment_of[v]);
+    EXPECT_EQ(it->second, res.fragment_of[v]) << "vertex " << v;
+  }
+}
+
+TEST(MstKm, PhasesAreLogarithmic) {
+  Rng rng(14);
+  const auto g = WeightedGraph::complete_random(128, 10000, rng);
+  const auto res = run_mst(g, 8, 15);
+  EXPECT_LE(res.phases, 9u);  // log2(128) + safety margin
+  EXPECT_GE(res.phases, 2u);
+}
+
+TEST(MstKm, DeterministicForFixedSeeds) {
+  Rng rng(16);
+  const auto g =
+      WeightedGraph::randomize_weights(gnp(60, 0.15, rng), 100, rng);
+  const auto a = run_mst(g, 4, 17);
+  const auto b = run_mst(g, 4, 17);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+}
+
+TEST(MstKm, MismatchedPartitionThrows) {
+  Rng rng(18);
+  const auto g = WeightedGraph::complete_random(20, 10, rng);
+  Engine engine(4, {.bandwidth_bits = 256, .seed = 1});
+  Rng prng(2);
+  const auto wrong = VertexPartition::random(10, 4, prng);
+  EXPECT_THROW(distributed_mst(g, wrong, engine), std::invalid_argument);
+}
+
+// ---------------- Connected components ----------------
+
+DistributedComponentsResult run_cc(const Graph& g, std::size_t k,
+                                   std::uint64_t seed) {
+  Engine engine(k, {.bandwidth_bits = EngineConfig::default_bandwidth(
+                        std::max<std::size_t>(g.num_vertices(), 2)),
+                    .seed = seed});
+  Rng prng(seed ^ 0xBBBB);
+  const auto part = VertexPartition::random(g.num_vertices(), k, prng);
+  return distributed_components(g, part, engine);
+}
+
+void expect_matches_bfs(const Graph& g, std::size_t k, std::uint64_t seed) {
+  const auto res = run_cc(g, k, seed);
+  const auto ref = connected_components(g);
+  EXPECT_EQ(res.num_components, num_connected_components(g));
+  // Labels must induce the same partition as BFS labels.
+  std::map<std::uint32_t, std::uint32_t> fwd, bwd;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto [it1, i1] = fwd.emplace(ref[v], res.labels[v]);
+    EXPECT_EQ(it1->second, res.labels[v]) << v;
+    const auto [it2, i2] = bwd.emplace(res.labels[v], ref[v]);
+    EXPECT_EQ(it2->second, ref[v]) << v;
+  }
+}
+
+TEST(ComponentsKm, ConnectedGraphIsOneComponent) {
+  Rng rng(20);
+  expect_matches_bfs(gnp(100, 0.1, rng), 8, 21);
+}
+
+TEST(ComponentsKm, ManySmallComponents) {
+  // A disjoint union of paths and isolated vertices.
+  std::vector<Edge> edges;
+  for (Vertex base = 0; base < 60; base += 5) {
+    for (Vertex i = 0; i + 1 < 4; ++i) {
+      edges.emplace_back(base + i, base + i + 1);  // path of 4, 1 isolated
+    }
+  }
+  const auto g = Graph::from_edges(60, std::move(edges));
+  expect_matches_bfs(g, 4, 22);
+}
+
+class ComponentsSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ComponentsSweep, SubcriticalGnpMatchesBfs) {
+  // p below the connectivity threshold: many components of varied size.
+  Rng rng(23 + GetParam());
+  const auto g = gnp(200, 0.008, rng);
+  expect_matches_bfs(g, GetParam(), 24);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, ComponentsSweep,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST(ComponentsKm, EdgelessGraph) {
+  const auto g = Graph::from_edges(10, {});
+  const auto res = run_cc(g, 4, 25);
+  EXPECT_EQ(res.num_components, 10u);
+}
+
+}  // namespace
+}  // namespace km

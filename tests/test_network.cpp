@@ -1,0 +1,149 @@
+// Tests for per-link bandwidth accounting (sim/network.hpp) — the cost
+// model of Section 1.1: B bits per link per round, rounds = max over
+// links of ceil(bits/B).
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace km {
+namespace {
+
+Message make_msg(std::uint32_t dst, std::size_t payload_bytes,
+                 std::uint16_t tag = 0) {
+  Message m;
+  m.dst = dst;
+  m.tag = tag;
+  m.payload.assign(payload_bytes, std::byte{0});
+  return m;
+}
+
+struct Boxes {
+  std::vector<std::vector<Message>> out, in;
+  std::vector<std::uint64_t> send_bits, recv_bits;
+  explicit Boxes(std::size_t k)
+      : out(k), in(k), send_bits(k, 0), recv_bits(k, 0) {}
+};
+
+TEST(Network, EmptySuperstepCostsNothing) {
+  Network net(4, 100);
+  Boxes b(4);
+  const auto stats = net.deliver(b.out, b.in, b.send_bits, b.recv_bits);
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_FALSE(stats.any);
+}
+
+TEST(Network, SingleSmallMessageIsOneRound) {
+  Network net(4, 1000);
+  Boxes b(4);
+  b.out[0].push_back(make_msg(1, 4));  // 16 + 32 = 48 bits
+  const auto stats = net.deliver(b.out, b.in, b.send_bits, b.recv_bits);
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.bits, 48u);
+  ASSERT_EQ(b.in[1].size(), 1u);
+  EXPECT_EQ(b.in[1][0].src, 0u);
+  EXPECT_EQ(b.send_bits[0], 48u);
+  EXPECT_EQ(b.recv_bits[1], 48u);
+}
+
+TEST(Network, RoundsAreCeilOfLinkBitsOverBandwidth) {
+  Network net(3, 100);
+  Boxes b(3);
+  // 5 messages of 48 bits each on link 0->1: 240 bits, B=100 => 3 rounds.
+  for (int i = 0; i < 5; ++i) b.out[0].push_back(make_msg(1, 4));
+  const auto stats = net.deliver(b.out, b.in, b.send_bits, b.recv_bits);
+  EXPECT_EQ(stats.max_link_bits, 240u);
+  EXPECT_EQ(stats.rounds, 3u);
+}
+
+TEST(Network, ParallelLinksDoNotAdd) {
+  // Same total traffic spread over distinct links costs max, not sum.
+  Network net(4, 100);
+  Boxes b(4);
+  for (std::uint32_t dst = 1; dst < 4; ++dst) {
+    b.out[0].push_back(make_msg(dst, 4));  // 48 bits per link
+  }
+  const auto stats = net.deliver(b.out, b.in, b.send_bits, b.recv_bits);
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(stats.bits, 144u);
+}
+
+TEST(Network, OppositeDirectionsAreSeparateLinks) {
+  // The paper's links are bidirectional with B bits each way per round;
+  // the simulator models each direction as its own budget.
+  Network net(2, 48);
+  Boxes b(2);
+  b.out[0].push_back(make_msg(1, 4));
+  b.out[1].push_back(make_msg(0, 4));
+  const auto stats = net.deliver(b.out, b.in, b.send_bits, b.recv_bits);
+  EXPECT_EQ(stats.rounds, 1u);  // both fit simultaneously
+}
+
+TEST(Network, HotLinkDominates) {
+  Network net(4, 48);
+  Boxes b(4);
+  b.out[0].push_back(make_msg(1, 4));
+  for (int i = 0; i < 10; ++i) b.out[2].push_back(make_msg(3, 4));
+  const auto stats = net.deliver(b.out, b.in, b.send_bits, b.recv_bits);
+  EXPECT_EQ(stats.rounds, 10u);
+}
+
+TEST(Network, SelfMessageThrows) {
+  Network net(3, 100);
+  Boxes b(3);
+  b.out[1].push_back(make_msg(1, 4));
+  EXPECT_THROW(net.deliver(b.out, b.in, b.send_bits, b.recv_bits),
+               std::logic_error);
+}
+
+TEST(Network, BadDestinationThrows) {
+  Network net(3, 100);
+  Boxes b(3);
+  b.out[0].push_back(make_msg(7, 4));
+  EXPECT_THROW(net.deliver(b.out, b.in, b.send_bits, b.recv_bits),
+               std::out_of_range);
+}
+
+TEST(Network, StateResetsBetweenSupersteps) {
+  Network net(2, 48);
+  Boxes b(2);
+  for (int i = 0; i < 4; ++i) b.out[0].push_back(make_msg(1, 4));
+  auto s1 = net.deliver(b.out, b.in, b.send_bits, b.recv_bits);
+  EXPECT_EQ(s1.rounds, 4u);
+  b.in[1].clear();
+  b.out[0].push_back(make_msg(1, 4));
+  auto s2 = net.deliver(b.out, b.in, b.send_bits, b.recv_bits);
+  EXPECT_EQ(s2.rounds, 1u);  // no carry-over from the previous superstep
+}
+
+TEST(Network, DeliveryOrderIsDeterministic) {
+  Network net(3, 1000);
+  Boxes b(3);
+  b.out[2].push_back(make_msg(1, 1, 20));
+  b.out[0].push_back(make_msg(1, 1, 10));
+  b.out[0].push_back(make_msg(1, 1, 11));
+  net.deliver(b.out, b.in, b.send_bits, b.recv_bits);
+  ASSERT_EQ(b.in[1].size(), 3u);
+  // Ascending source order, then send order.
+  EXPECT_EQ(b.in[1][0].tag, 10u);
+  EXPECT_EQ(b.in[1][1].tag, 11u);
+  EXPECT_EQ(b.in[1][2].tag, 20u);
+}
+
+TEST(Network, InvalidConstructionThrows) {
+  EXPECT_THROW(Network(0, 100), std::invalid_argument);
+  EXPECT_THROW(Network(4, 0), std::invalid_argument);
+}
+
+TEST(Network, HeaderBitsAreCharged) {
+  Network net(2, 16);
+  Boxes b(2);
+  b.out[0].push_back(make_msg(1, 0));  // empty payload = header only
+  const auto stats = net.deliver(b.out, b.in, b.send_bits, b.recv_bits);
+  EXPECT_EQ(stats.bits, Message::kHeaderBits);
+  EXPECT_EQ(stats.rounds, 1u);
+}
+
+}  // namespace
+}  // namespace km

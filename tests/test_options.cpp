@@ -1,0 +1,69 @@
+// Unit tests for CLI option parsing (util/options.hpp).
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace km {
+namespace {
+
+Options parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Options(static_cast<int>(args.size()),
+                 const_cast<char**>(args.data()));
+}
+
+TEST(Options, EqualsForm) {
+  const auto o = parse({"--n=100", "--eps=0.25", "--name=web"});
+  EXPECT_EQ(o.get_uint("n", 0), 100u);
+  EXPECT_DOUBLE_EQ(o.get_double("eps", 0.0), 0.25);
+  EXPECT_EQ(o.get_string("name", ""), "web");
+}
+
+TEST(Options, SpaceForm) {
+  const auto o = parse({"--n", "42", "--mode", "fast"});
+  EXPECT_EQ(o.get_int("n", 0), 42);
+  EXPECT_EQ(o.get_string("mode", ""), "fast");
+}
+
+TEST(Options, FlagWithoutValue) {
+  const auto o = parse({"--verbose", "--n=5"});
+  EXPECT_TRUE(o.has("verbose"));
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_FALSE(o.get_bool("quiet", false));
+  EXPECT_TRUE(o.get_bool("quiet", true));
+}
+
+TEST(Options, BoolValues) {
+  const auto o = parse({"--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(o.get_bool("a", false));
+  EXPECT_FALSE(o.get_bool("b", true));
+  EXPECT_TRUE(o.get_bool("c", false));
+  EXPECT_FALSE(o.get_bool("d", true));
+}
+
+TEST(Options, FallbacksWhenAbsent) {
+  const auto o = parse({});
+  EXPECT_EQ(o.get_int("missing", -7), -7);
+  EXPECT_EQ(o.get_uint("missing", 7), 7u);
+  EXPECT_DOUBLE_EQ(o.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(o.get_string("missing", "dflt"), "dflt");
+  EXPECT_FALSE(o.has("missing"));
+}
+
+TEST(Options, PositionalArguments) {
+  const auto o = parse({"input.txt", "--n=3", "output.txt"});
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "input.txt");
+  EXPECT_EQ(o.positional()[1], "output.txt");
+}
+
+TEST(Options, NegativeNumbers) {
+  const auto o = parse({"--x=-5", "--y=-2.5"});
+  EXPECT_EQ(o.get_int("x", 0), -5);
+  EXPECT_DOUBLE_EQ(o.get_double("y", 0.0), -2.5);
+}
+
+}  // namespace
+}  // namespace km

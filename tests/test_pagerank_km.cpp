@@ -1,0 +1,196 @@
+// Tests for distributed PageRank (core/pagerank.hpp): the Monte Carlo
+// estimates must delta-approximate the exact expected-visit PageRank
+// (Theorem 4 / Proposition 1), across graph families, machine counts and
+// seeds; the algorithm must decode the lower-bound gadget's direction
+// bits (Lemma 4); and the heavy-vertex path must beat the baseline's
+// congestion on skewed graphs.
+#include "core/pagerank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "graph/lb_graphs.hpp"
+#include "graph/pagerank_ref.hpp"
+
+namespace km {
+namespace {
+
+/// Relative L1 error between estimate and reference.
+double relative_l1(const std::vector<double>& est,
+                   const std::vector<double>& ref) {
+  double err = 0.0, mass = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    err += std::abs(est[i] - ref[i]);
+    mass += ref[i];
+  }
+  return err / mass;
+}
+
+PageRankResult run(const Digraph& g, std::size_t k, std::uint64_t seed,
+                   const PageRankConfig& cfg = {.eps = 0.2, .c = 24.0},
+                   bool baseline = false, std::uint64_t bandwidth = 0) {
+  Engine engine(k, {.bandwidth_bits =
+                        bandwidth ? bandwidth
+                                  : EngineConfig::default_bandwidth(
+                                        g.num_vertices()),
+                    .seed = seed});
+  Rng prng(seed ^ 0x9999);
+  const auto part = VertexPartition::random(g.num_vertices(), k, prng);
+  return baseline ? distributed_pagerank_baseline(g, part, engine, cfg)
+                  : distributed_pagerank(g, part, engine, cfg);
+}
+
+TEST(PageRankKm, ApproximatesReferenceOnGnp) {
+  Rng rng(1);
+  const auto g = Digraph::from_undirected(gnp(400, 0.05, rng));
+  const auto ref = expected_visit_pagerank(g, {.eps = 0.2});
+  const auto res = run(g, 8, 42);
+  EXPECT_LT(relative_l1(res.estimates, ref), 0.12);
+}
+
+TEST(PageRankKm, ApproximatesReferenceOnDirectedGnp) {
+  Rng rng(2);
+  const auto g = gnp_directed(300, 0.04, rng);
+  const auto ref = expected_visit_pagerank(g, {.eps = 0.2});
+  const auto res = run(g, 6, 43);
+  EXPECT_LT(relative_l1(res.estimates, ref), 0.15);
+}
+
+TEST(PageRankKm, ApproximatesReferenceOnStar) {
+  // The heavy-vertex path is exercised: the center holds ~n*c*log n
+  // tokens every iteration.
+  const auto g = Digraph::from_undirected(star_graph(500));
+  const auto ref = expected_visit_pagerank(g, {.eps = 0.2});
+  const auto res = run(g, 8, 44);
+  EXPECT_LT(relative_l1(res.estimates, ref), 0.1);
+  // The center's estimate specifically must be accurate (it aggregates
+  // half the token mass, so its variance is tiny).
+  EXPECT_NEAR(res.estimates[0] / ref[0], 1.0, 0.05);
+}
+
+TEST(PageRankKm, BaselineMatchesReferenceToo) {
+  // The baseline is slower, not wrong: same estimator, same guarantees.
+  Rng rng(3);
+  const auto g = Digraph::from_undirected(gnp(300, 0.05, rng));
+  const auto ref = expected_visit_pagerank(g, {.eps = 0.2});
+  const auto res = run(g, 6, 45, {.eps = 0.2, .c = 24.0}, true);
+  EXPECT_LT(relative_l1(res.estimates, ref), 0.15);
+}
+
+TEST(PageRankKm, HeavyPathBeatsBaselineOnStar) {
+  // Section 3.1's motivating example: on a star the naive algorithm
+  // funnels ~n distinct-destination messages out of the center's
+  // machine each iteration, while Algorithm 1's heavy path sends at most
+  // k-1 aggregated messages.  c is chosen so leaves stay light
+  // (tokens0 < k) and B is small enough to resolve the congestion gap.
+  const auto g = Digraph::from_undirected(star_graph(8000));
+  const PageRankConfig cfg{.eps = 0.2, .c = 4.0};
+  const auto fast = run(g, 64, 46, cfg, false, /*bandwidth=*/64);
+  const auto slow = run(g, 64, 46, cfg, true, /*bandwidth=*/64);
+  EXPECT_LT(fast.metrics.rounds * 3, slow.metrics.rounds)
+      << "fast=" << fast.metrics.rounds << " slow=" << slow.metrics.rounds;
+}
+
+TEST(PageRankKm, DecodesLowerBoundGadgetBits) {
+  // Lemma 4 end-to-end: a delta-approximation of PageRank on H recovers
+  // every direction bit b_i by thresholding PageRank(v_i).
+  Rng rng(4);
+  PageRankLowerBoundGraph h(100, rng);  // n = 401
+  const auto res = run(h.graph(), 8, 47, {.eps = 0.2, .c = 160.0});
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < h.q(); ++i) {
+    correct += (h.decode_bit(0.2, res.estimates[h.v(i)]) == h.bits()[i]);
+  }
+  // With c=160 tokens/vertex the decoding should be near-perfect.
+  EXPECT_GE(correct, h.q() - 2) << correct << "/" << h.q();
+}
+
+TEST(PageRankKm, DanglingGraphMassMatchesReference) {
+  // The gadget H has a sink w; total estimated mass must track the
+  // reference (which is < 1 because walks die at w).
+  Rng rng(5);
+  PageRankLowerBoundGraph h(50, rng);
+  const auto ref = expected_visit_pagerank(h.graph(), {.eps = 0.2});
+  const auto res = run(h.graph(), 4, 48, {.eps = 0.2, .c = 64.0});
+  const double ref_mass = std::accumulate(ref.begin(), ref.end(), 0.0);
+  const double est_mass =
+      std::accumulate(res.estimates.begin(), res.estimates.end(), 0.0);
+  EXPECT_NEAR(est_mass, ref_mass, 0.05 * ref_mass);
+  EXPECT_LT(ref_mass, 1.0);
+}
+
+class PageRankMachineSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PageRankMachineSweep, CorrectForAnyMachineCount) {
+  const std::size_t k = GetParam();
+  Rng rng(6);
+  const auto g = Digraph::from_undirected(gnp(250, 0.06, rng));
+  const auto ref = expected_visit_pagerank(g, {.eps = 0.2});
+  const auto res = run(g, k, 100 + k);
+  EXPECT_LT(relative_l1(res.estimates, ref), 0.15) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, PageRankMachineSweep,
+                         ::testing::Values(2, 3, 4, 8, 16, 25));
+
+class PageRankSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PageRankSeedSweep, StableAcrossSeeds) {
+  Rng rng(7);
+  const auto g = Digraph::from_undirected(
+      watts_strogatz(300, 6, 0.1, rng));
+  const auto ref = expected_visit_pagerank(g, {.eps = 0.2});
+  const auto res = run(g, 8, GetParam());
+  EXPECT_LT(relative_l1(res.estimates, ref), 0.15) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageRankSeedSweep,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(PageRankKm, DeterministicForFixedSeeds) {
+  Rng rng(8);
+  const auto g = Digraph::from_undirected(gnp(150, 0.08, rng));
+  const auto a = run(g, 4, 99);
+  const auto b = run(g, 4, 99);
+  EXPECT_EQ(a.estimates, b.estimates);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(PageRankKm, AllTokensEventuallyTerminate) {
+  Rng rng(9);
+  const auto g = Digraph::from_undirected(cycle_graph(100));
+  const auto res = run(g, 4, 50);
+  // Termination implies a bounded iteration count ~ log(total)/eps.
+  EXPECT_GT(res.iterations, 10u);
+  EXPECT_LT(res.iterations, 400u);
+  EXPECT_EQ(res.metrics.dropped_messages, 0u);
+}
+
+TEST(PageRankKm, MismatchedPartitionThrows) {
+  Rng rng(10);
+  const auto g = Digraph::from_undirected(gnp(50, 0.1, rng));
+  Engine engine(4, {.bandwidth_bits = 256, .seed = 1});
+  Rng prng(1);
+  const auto wrong_n = VertexPartition::random(40, 4, prng);
+  EXPECT_THROW(distributed_pagerank(g, wrong_n, engine),
+               std::invalid_argument);
+  const auto wrong_k = VertexPartition::random(50, 8, prng);
+  EXPECT_THROW(distributed_pagerank(g, wrong_k, engine),
+               std::invalid_argument);
+}
+
+TEST(PageRankKm, EstimatorNormalizationMatchesTheorem) {
+  // pi_hat sums to ~ eps * total_visits / (n * tokens0); on a cycle
+  // (no dangling) the expected sum is exactly 1.
+  const auto g = Digraph::from_undirected(cycle_graph(200));
+  const auto res = run(g, 4, 51, {.eps = 0.25, .c = 32.0});
+  const double total =
+      std::accumulate(res.estimates.begin(), res.estimates.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,107 @@
+// Tests for the sequential PageRank references (graph/pagerank_ref.hpp).
+#include "graph/pagerank_ref.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+
+namespace km {
+namespace {
+
+TEST(PageRankRef, DirectedCycleIsUniform) {
+  // On a directed cycle every vertex is symmetric.
+  std::vector<Edge> arcs;
+  const std::size_t n = 10;
+  for (std::size_t i = 0; i < n; ++i) {
+    arcs.emplace_back(static_cast<Vertex>(i), static_cast<Vertex>((i + 1) % n));
+  }
+  const auto g = Digraph::from_arcs(n, std::move(arcs));
+  const auto pi = expected_visit_pagerank(g, {.eps = 0.2});
+  for (std::size_t v = 1; v < n; ++v) EXPECT_NEAR(pi[v], pi[0], 1e-10);
+  // phi = 1/eps on a cycle (every token visits until termination):
+  // pi_v = eps * (1/eps) / n = 1/n.
+  EXPECT_NEAR(pi[0], 1.0 / static_cast<double>(n), 1e-9);
+}
+
+TEST(PageRankRef, ExpectedVisitsSumWithNoDangling) {
+  // Without dangling vertices total expected visits per start token are
+  // 1/eps, so sum_v pi_v = 1.
+  Rng rng(3);
+  auto und = gnp(80, 0.2, rng);
+  const auto g = Digraph::from_undirected(und);
+  const auto pi = expected_visit_pagerank(g, {.eps = 0.15});
+  const double total = std::accumulate(pi.begin(), pi.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRankRef, DanglingReducesTotalMass) {
+  // A path u -> v: tokens at v terminate, so total < 1.
+  const auto g = Digraph::from_arcs(2, {{0, 1}});
+  const auto pi = expected_visit_pagerank(g, {.eps = 0.2});
+  EXPECT_LT(pi[0] + pi[1], 1.0);
+  // phi_0 = 1, phi_1 = 1 + 0.8 => pi = eps*phi/n.
+  EXPECT_NEAR(pi[0], 0.2 * 1.0 / 2.0, 1e-10);
+  EXPECT_NEAR(pi[1], 0.2 * 1.8 / 2.0, 1e-10);
+}
+
+TEST(PageRankRef, StarCenterDominates) {
+  const auto und = star_graph(50);
+  const auto g = Digraph::from_undirected(und);
+  const auto pi = expected_visit_pagerank(g, {.eps = 0.2});
+  for (Vertex v = 1; v < 50; ++v) EXPECT_GT(pi[0], pi[v]);
+}
+
+TEST(PageRankRef, PowerIterationIsDistribution) {
+  Rng rng(4);
+  const auto g = gnp_directed(100, 0.05, rng);
+  const auto pi = power_iteration_pagerank(g, {.eps = 0.15});
+  const double total = std::accumulate(pi.begin(), pi.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-8);
+  for (double x : pi) EXPECT_GT(x, 0.0);
+}
+
+TEST(PageRankRef, PowerIterationMatchesExpectedVisitsWithoutDangling) {
+  // With no dangling vertices the two formulations coincide.
+  Rng rng(5);
+  const auto und = gnp(60, 0.3, rng);
+  const auto g = Digraph::from_undirected(und);
+  const auto a = expected_visit_pagerank(g, {.eps = 0.2});
+  const auto b = power_iteration_pagerank(g, {.eps = 0.2});
+  EXPECT_LT(l1_distance(a, b), 1e-6);
+}
+
+TEST(PageRankRef, HigherInDegreeHigherRank) {
+  // 0 and 1 both point at 3; only 0 points at 2. pi_3 > pi_2.
+  const auto g = Digraph::from_arcs(4, {{0, 3}, {1, 3}, {0, 2}, {2, 0},
+                                        {3, 0}});
+  const auto pi = expected_visit_pagerank(g, {.eps = 0.2});
+  EXPECT_GT(pi[3], pi[2]);
+}
+
+TEST(PageRankRef, EmptyGraph) {
+  const Digraph g;
+  EXPECT_TRUE(expected_visit_pagerank(g).empty());
+  EXPECT_TRUE(power_iteration_pagerank(g).empty());
+}
+
+TEST(PageRankRef, L1DistanceBasics) {
+  EXPECT_DOUBLE_EQ(l1_distance({1.0, 2.0}, {1.5, 1.0}), 1.5);
+  EXPECT_THROW(l1_distance({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+class PageRankEpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PageRankEpsSweep, MassConservationNoDangling) {
+  Rng rng(6);
+  const auto g = Digraph::from_undirected(gnp(50, 0.25, rng));
+  const auto pi = expected_visit_pagerank(g, {.eps = GetParam()});
+  EXPECT_NEAR(std::accumulate(pi.begin(), pi.end(), 0.0), 1.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, PageRankEpsSweep,
+                         ::testing::Values(0.1, 0.15, 0.2, 0.3, 0.5, 0.85));
+
+}  // namespace
+}  // namespace km

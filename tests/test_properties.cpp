@@ -1,0 +1,62 @@
+// Tests for structural graph properties (graph/properties.hpp).
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace km {
+namespace {
+
+TEST(Properties, DegreeStats) {
+  const auto g = star_graph(10);
+  const auto s = degree_stats(g);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 9u);
+  EXPECT_DOUBLE_EQ(s.mean, 18.0 / 10.0);
+  EXPECT_EQ(s.sum_squares, 81u + 9u);
+}
+
+TEST(Properties, ConnectedComponentsOfDisjointPaths) {
+  // Two disjoint paths: 0-1-2 and 3-4.
+  const auto g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  const auto labels = connected_components(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[5], labels[0]);  // isolated vertex = own component
+  EXPECT_EQ(num_connected_components(g), 3u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Properties, ConnectedGraphs) {
+  EXPECT_TRUE(is_connected(path_graph(10)));
+  EXPECT_TRUE(is_connected(complete_graph(5)));
+  EXPECT_TRUE(is_connected(star_graph(7)));
+  EXPECT_TRUE(is_connected(Graph::from_edges(1, {})));
+  EXPECT_TRUE(is_connected(Graph::from_edges(0, {})));
+}
+
+TEST(Properties, WeakConnectivityIgnoresDirection) {
+  const auto g = Digraph::from_arcs(3, {{0, 1}, {2, 1}});
+  EXPECT_TRUE(is_weakly_connected(g));
+  const auto g2 = Digraph::from_arcs(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(is_weakly_connected(g2));
+}
+
+TEST(Properties, NumDangling) {
+  const auto g = Digraph::from_arcs(4, {{0, 1}, {1, 2}, {3, 2}});
+  EXPECT_EQ(num_dangling(g), 1u);  // only vertex 2
+}
+
+TEST(Properties, GnpAboveThresholdIsConnected) {
+  // p = 3 ln n / n is well above the connectivity threshold.
+  Rng rng(5);
+  const std::size_t n = 300;
+  const double p = 3.0 * std::log(static_cast<double>(n)) / n;
+  EXPECT_TRUE(is_connected(gnp(n, p, rng)));
+}
+
+}  // namespace
+}  // namespace km

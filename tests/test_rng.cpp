@@ -1,0 +1,174 @@
+// Unit tests for the deterministic RNG (util/rng.hpp).
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace km {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, StreamSeedingGivesIndependentStreams) {
+  Rng a(7, 0), b(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+  // And reproducible per stream.
+  Rng a2(7, 0);
+  Rng a3(7, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a2.next(), a3.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(5);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(kBound)];
+  const double expected = static_cast<double>(kSamples) / kBound;
+  for (auto c : counts) {
+    EXPECT_NEAR(c, expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 1000 draws
+}
+
+TEST(Rng, Real01InUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.real01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliMeanMatchesP) {
+  Rng rng(9);
+  int hits = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Rng rng(10);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, BinomialMeanAndBounds) {
+  Rng rng(11);
+  // Small-n path (direct simulation).
+  double sum_small = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.binomial(20, 0.25);
+    EXPECT_LE(v, 20u);
+    sum_small += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum_small / 20000.0, 5.0, 0.1);
+  // Large-n path (std::binomial_distribution).
+  double sum_large = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.binomial(10000, 0.1);
+    EXPECT_LE(v, 10000u);
+    sum_large += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum_large / 5000.0, 1000.0, 5.0);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(12);
+  std::vector<int> xs(100);
+  for (int i = 0; i < 100; ++i) xs[i] = i;
+  auto copy = xs;
+  rng.shuffle(std::span<int>(copy));
+  EXPECT_NE(copy, xs);  // astronomically unlikely to be identity
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, xs);
+}
+
+TEST(Rng, SampleDistinctProducesDistinctSorted) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = rng.sample_distinct(100, 20);
+    ASSERT_EQ(s.size(), 20u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    EXPECT_EQ(std::set<std::uint64_t>(s.begin(), s.end()).size(), 20u);
+    for (auto v : s) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Rng, SampleDistinctFullRange) {
+  Rng rng(14);
+  const auto s = rng.sample_distinct(10, 10);
+  ASSERT_EQ(s.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const auto a = splitmix64(state);
+  const auto b = splitmix64(state);
+  EXPECT_NE(a, b);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), a);
+  EXPECT_EQ(splitmix64(state2), b);
+}
+
+TEST(Mix64, OrderSensitive) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,162 @@
+// Tests for routing strategies (sim/routing.hpp): correctness of direct
+// and Valiant two-hop delivery, and the Lemma 13 congestion behaviour.
+#include "sim/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+namespace km {
+namespace {
+
+Message make_msg(std::uint32_t dst, std::uint64_t value,
+                 std::uint16_t tag = 1) {
+  Message m;
+  m.dst = dst;
+  m.tag = tag;
+  Writer w;
+  w.put_varint(value);
+  m.payload = w.take();
+  return m;
+}
+
+std::uint64_t value_of(const Message& m) {
+  Reader r(m.payload);
+  return r.get_varint();
+}
+
+TEST(Routing, DirectDeliversEverything) {
+  constexpr std::size_t kMachines = 5;
+  Engine engine(kMachines, {.bandwidth_bits = 4096, .seed = 1});
+  std::vector<std::multiset<std::uint64_t>> got(kMachines);
+  engine.run([&](MachineContext& ctx) {
+    std::vector<Message> out;
+    for (std::size_t dst = 0; dst < kMachines; ++dst) {
+      out.push_back(make_msg(static_cast<std::uint32_t>(dst),
+                             ctx.id() * 100 + dst));
+    }
+    for (const auto& m : route_direct(ctx, std::move(out))) {
+      got[ctx.id()].insert(value_of(m));
+    }
+  });
+  for (std::size_t dst = 0; dst < kMachines; ++dst) {
+    ASSERT_EQ(got[dst].size(), kMachines);  // one from each (incl. self)
+    for (std::size_t src = 0; src < kMachines; ++src) {
+      EXPECT_TRUE(got[dst].count(src * 100 + dst)) << src << "->" << dst;
+    }
+  }
+}
+
+TEST(Routing, TwoHopDeliversEverything) {
+  constexpr std::size_t kMachines = 6;
+  Engine engine(kMachines, {.bandwidth_bits = 1 << 16, .seed = 7});
+  std::vector<std::multiset<std::uint64_t>> got(kMachines);
+  engine.run([&](MachineContext& ctx) {
+    std::vector<Message> out;
+    for (int i = 0; i < 20; ++i) {
+      const auto dst =
+          static_cast<std::uint32_t>(ctx.rng().below(kMachines));
+      out.push_back(make_msg(dst, ctx.id() * 1000 + i));
+    }
+    for (const auto& m :
+         route_via_random_intermediate(ctx, std::move(out))) {
+      got[ctx.id()].insert(value_of(m));
+    }
+  });
+  std::size_t total = 0;
+  for (const auto& s : got) total += s.size();
+  EXPECT_EQ(total, kMachines * 20);
+}
+
+TEST(Routing, TwoHopPreservesTagAndPayload) {
+  Engine engine(3, {.bandwidth_bits = 4096, .seed = 2});
+  std::atomic<int> checked{0};
+  engine.run([&](MachineContext& ctx) {
+    std::vector<Message> out;
+    if (ctx.id() == 0) out.push_back(make_msg(2, 12345, 42));
+    const auto in = route_via_random_intermediate(ctx, std::move(out));
+    if (ctx.id() == 2) {
+      ASSERT_EQ(in.size(), 1u);
+      EXPECT_EQ(in[0].tag, 42u);
+      EXPECT_EQ(value_of(in[0]), 12345u);
+      ++checked;
+    } else {
+      EXPECT_TRUE(in.empty());
+    }
+  });
+  EXPECT_EQ(checked.load(), 1);
+}
+
+TEST(Routing, TwoHopSmoothsSkewedDestinations) {
+  // All messages from machine 0 target machine 1.  Direct routing puts
+  // them on one link; two-hop spreads each hop over k links, so the
+  // direct round count must exceed the two-hop count for large batches.
+  constexpr std::size_t kMachines = 16;
+  constexpr int kBatch = 512;
+  const EngineConfig cfg{.bandwidth_bits = 64, .seed = 3};
+
+  auto run = [&](auto router) {
+    Engine engine(kMachines, cfg);
+    return engine.run([&](MachineContext& ctx) {
+      std::vector<Message> out;
+      if (ctx.id() == 0) {
+        for (int i = 0; i < kBatch; ++i) out.push_back(make_msg(1, i));
+      }
+      router(ctx, std::move(out));
+    });
+  };
+  const auto direct = run([](MachineContext& ctx, std::vector<Message> m) {
+    return route_direct(ctx, std::move(m));
+  });
+  const auto twohop = run([](MachineContext& ctx, std::vector<Message> m) {
+    return route_via_random_intermediate(ctx, std::move(m));
+  });
+  EXPECT_GT(direct.rounds, 2 * twohop.rounds)
+      << "direct=" << direct.rounds << " twohop=" << twohop.rounds;
+}
+
+TEST(Routing, RandomDestinationCongestionMatchesLemma13) {
+  // Lemma 13: x messages per machine with uniform destinations are
+  // delivered in O((x log x)/k) rounds, i.e. per-link load concentrates
+  // near x/k.  Check max link load <= 4x/k for a comfortable margin.
+  constexpr std::size_t kMachines = 16;
+  constexpr std::uint64_t x = 2048;
+  Engine engine(kMachines, {.bandwidth_bits = 64, .seed = 4});
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    std::vector<Message> out;
+    for (std::uint64_t i = 0; i < x; ++i) {
+      out.push_back(make_msg(
+          static_cast<std::uint32_t>(ctx.rng().below(kMachines)), i));
+    }
+    route_direct(ctx, std::move(out));
+  });
+  // Each message is 16 header + ~2 bytes varint; bound via bits.
+  const double per_link_msgs =
+      static_cast<double>(metrics.max_link_bits_superstep) / 40.0;
+  EXPECT_LT(per_link_msgs, 4.0 * static_cast<double>(x) / kMachines);
+}
+
+TEST(Routing, EmptyBatchesCostNothing) {
+  Engine engine(4, {.bandwidth_bits = 64, .seed = 5});
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    EXPECT_TRUE(route_direct(ctx, {}).empty());
+    EXPECT_TRUE(route_via_random_intermediate(ctx, {}).empty());
+  });
+  EXPECT_EQ(metrics.rounds, 0u);
+}
+
+TEST(Routing, SelfAddressedMessagesStayLocal) {
+  Engine engine(3, {.bandwidth_bits = 64, .seed = 6});
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    std::vector<Message> out;
+    out.push_back(make_msg(static_cast<std::uint32_t>(ctx.id()), 7));
+    const auto in = route_direct(ctx, std::move(out));
+    ASSERT_EQ(in.size(), 1u);
+    EXPECT_EQ(value_of(in[0]), 7u);
+  });
+  EXPECT_EQ(metrics.messages, 0u);  // never touched the network
+}
+
+}  // namespace
+}  // namespace km

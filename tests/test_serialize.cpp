@@ -1,0 +1,143 @@
+// Unit tests for bit-accurate serialization (util/serialize.hpp).
+#include "util/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace km {
+namespace {
+
+TEST(Serialize, FixedWidthRoundTrip) {
+  Writer w;
+  w.put_u8(0xab);
+  w.put_u16(0xbeef);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefULL);
+  w.put_double(3.14159);
+  const auto buf = w.take();
+  Reader r(buf);
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0xbeef);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.get_double(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, VarintRoundTripBoundaries) {
+  const std::uint64_t values[] = {0,      1,       127,        128,
+                                  16383,  16384,   (1ULL << 32) - 1,
+                                  1ULL << 32, std::numeric_limits<std::uint64_t>::max()};
+  Writer w;
+  for (auto v : values) w.put_varint(v);
+  const auto buf = w.take();
+  Reader r(buf);
+  for (auto v : values) EXPECT_EQ(r.get_varint(), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, VarintSizesAreMinimal) {
+  EXPECT_EQ(varint_size(0), 1u);
+  EXPECT_EQ(varint_size(127), 1u);
+  EXPECT_EQ(varint_size(128), 2u);
+  EXPECT_EQ(varint_size(16383), 2u);
+  EXPECT_EQ(varint_size(16384), 3u);
+  EXPECT_EQ(varint_size(std::numeric_limits<std::uint64_t>::max()), 10u);
+  // Writer agrees with varint_size.
+  for (std::uint64_t v : {0ULL, 127ULL, 128ULL, 99999ULL, 1ULL << 50}) {
+    Writer w;
+    w.put_varint(v);
+    EXPECT_EQ(w.size_bytes(), varint_size(v));
+  }
+}
+
+TEST(Serialize, SignedVarintRoundTrip) {
+  const std::int64_t values[] = {0,  -1, 1,  -2,  2,
+                                 -1000000, 1000000,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  Writer w;
+  for (auto v : values) w.put_varint_signed(v);
+  const auto buf = w.take();
+  Reader r(buf);
+  for (auto v : values) EXPECT_EQ(r.get_varint_signed(), v);
+}
+
+TEST(Serialize, SmallSignedValuesAreOneByte) {
+  for (std::int64_t v : {0LL, 1LL, -1LL, 63LL, -64LL}) {
+    Writer w;
+    w.put_varint_signed(v);
+    EXPECT_EQ(w.size_bytes(), 1u) << v;
+  }
+}
+
+TEST(Serialize, UnderrunThrows) {
+  Writer w;
+  w.put_u16(7);
+  const auto buf = w.take();
+  Reader r(buf);
+  EXPECT_NO_THROW(r.get_u8());
+  EXPECT_NO_THROW(r.get_u8());
+  EXPECT_THROW(r.get_u8(), SerializeError);
+}
+
+TEST(Serialize, VarintUnderrunThrows) {
+  // A continuation bit with no following byte.
+  std::vector<std::byte> buf{std::byte{0x80}};
+  Reader r(buf);
+  EXPECT_THROW(r.get_varint(), SerializeError);
+}
+
+TEST(Serialize, MalformedVarintOverflowThrows) {
+  // 11 continuation bytes exceed 64 bits.
+  std::vector<std::byte> buf(11, std::byte{0x80});
+  buf.push_back(std::byte{0x01});
+  Reader r(buf);
+  EXPECT_THROW(r.get_varint(), SerializeError);
+}
+
+TEST(Serialize, PutBytesAppends) {
+  Writer inner;
+  inner.put_u32(42);
+  Writer outer;
+  outer.put_u8(1);
+  outer.put_bytes(inner.view());
+  const auto buf = outer.take();
+  Reader r(buf);
+  EXPECT_EQ(r.get_u8(), 1);
+  EXPECT_EQ(r.get_u32(), 42u);
+}
+
+TEST(Serialize, TakeResetsWriter) {
+  Writer w;
+  w.put_u64(1);
+  EXPECT_EQ(w.size_bytes(), 8u);
+  (void)w.take();
+  EXPECT_EQ(w.size_bytes(), 0u);
+  w.put_u8(2);
+  EXPECT_EQ(w.size_bytes(), 1u);
+}
+
+TEST(Serialize, SizeBitsMatchesBytes) {
+  Writer w;
+  w.put_u32(5);
+  EXPECT_EQ(w.size_bits(), 32u);
+}
+
+TEST(Serialize, RemainingTracksPosition) {
+  Writer w;
+  w.put_u32(1);
+  w.put_u32(2);
+  const auto buf = w.take();
+  Reader r(buf);
+  EXPECT_EQ(r.remaining(), 8u);
+  r.get_u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.get_u32();
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace km

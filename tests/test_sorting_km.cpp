@@ -1,0 +1,122 @@
+// Tests for distributed sample sort (core/sorting.hpp): machine i must
+// end with exactly the i-th block of order statistics (the paper's
+// sorting output requirement, Section 1.3).
+#include "core/sorting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace km {
+namespace {
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.next();
+  return keys;
+}
+
+void expect_exact_blocks(const SortResult& res,
+                         std::vector<std::uint64_t> keys) {
+  std::sort(keys.begin(), keys.end());
+  std::vector<std::uint64_t> merged;
+  for (std::size_t i = 0; i < res.blocks.size(); ++i) {
+    EXPECT_TRUE(std::is_sorted(res.blocks[i].begin(), res.blocks[i].end()));
+    EXPECT_EQ(res.blocks[i].size(), res.offsets[i + 1] - res.offsets[i])
+        << "machine " << i;
+    merged.insert(merged.end(), res.blocks[i].begin(), res.blocks[i].end());
+  }
+  EXPECT_EQ(merged, keys);
+}
+
+SortResult run(const std::vector<std::uint64_t>& keys, std::size_t k,
+               std::uint64_t seed, std::uint64_t bandwidth = 0) {
+  Engine engine(k, {.bandwidth_bits =
+                        bandwidth ? bandwidth
+                                  : EngineConfig::default_bandwidth(
+                                        std::max<std::size_t>(keys.size(), 2)),
+                    .seed = seed});
+  return distributed_sample_sort(keys, engine);
+}
+
+TEST(SortingKm, SortsUniformKeysExactly) {
+  const auto keys = random_keys(5000, 1);
+  expect_exact_blocks(run(keys, 8, 2), keys);
+}
+
+TEST(SortingKm, SortsWithDuplicates) {
+  Rng rng(3);
+  std::vector<std::uint64_t> keys(3000);
+  for (auto& k : keys) k = rng.below(50);  // heavy duplication
+  expect_exact_blocks(run(keys, 8, 4), keys);
+}
+
+TEST(SortingKm, SortsAlreadySortedAndReversed) {
+  std::vector<std::uint64_t> keys(2000);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  expect_exact_blocks(run(keys, 4, 5), keys);
+  std::reverse(keys.begin(), keys.end());
+  expect_exact_blocks(run(keys, 4, 6), keys);
+}
+
+TEST(SortingKm, SortsConstantKeys) {
+  std::vector<std::uint64_t> keys(1000, 7);
+  expect_exact_blocks(run(keys, 8, 7), keys);
+}
+
+TEST(SortingKm, SkewedDistribution) {
+  Rng rng(8);
+  std::vector<std::uint64_t> keys(4000);
+  for (auto& k : keys) {
+    // Zipf-ish skew: mostly small values, occasional huge ones.
+    k = rng.bernoulli(0.9) ? rng.below(100) : rng.next();
+  }
+  expect_exact_blocks(run(keys, 16, 9), keys);
+}
+
+class SortMachineSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortMachineSweep, ExactForAnyMachineCount) {
+  const auto keys = random_keys(2500, 10 + GetParam());
+  expect_exact_blocks(run(keys, GetParam(), 11), keys);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, SortMachineSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 31));
+
+TEST(SortingKm, TinyInputs) {
+  expect_exact_blocks(run({}, 4, 12), {});
+  expect_exact_blocks(run({42}, 4, 13), {42});
+  expect_exact_blocks(run({5, 3}, 4, 14), {5, 3});
+}
+
+TEST(SortingKm, OffsetsAreEvenBlocks) {
+  const auto res = run(random_keys(1000, 15), 8, 16);
+  ASSERT_EQ(res.offsets.size(), 9u);
+  EXPECT_EQ(res.offsets.front(), 0u);
+  EXPECT_EQ(res.offsets.back(), 1000u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(res.offsets[i + 1] - res.offsets[i], 125u);
+  }
+}
+
+TEST(SortingKm, DeterministicForFixedSeeds) {
+  const auto keys = random_keys(2000, 17);
+  const auto a = run(keys, 8, 18);
+  const auto b = run(keys, 8, 18);
+  EXPECT_EQ(a.blocks, b.blocks);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+}
+
+TEST(SortingKm, RoundsShrinkWithMoreMachines) {
+  // O~(n/k^2): quadrupling k should cut rounds by far more than 4x.
+  // B is kept small so key traffic, not fixed phase overhead, dominates.
+  const auto keys = random_keys(60000, 19);
+  const auto r4 = run(keys, 4, 20, /*bandwidth=*/64).metrics.rounds;
+  const auto r16 = run(keys, 16, 21, /*bandwidth=*/64).metrics.rounds;
+  EXPECT_LT(r16 * 4, r4) << "r4=" << r4 << " r16=" << r16;
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,109 @@
+// Unit tests for descriptive statistics (util/stats.hpp).
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace km {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);  // classic example, sd = 2
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37 - 3.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  Accumulator c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(Accumulator, Imbalance) {
+  Accumulator acc;
+  acc.add(10.0);
+  acc.add(10.0);
+  acc.add(40.0);
+  EXPECT_DOUBLE_EQ(acc.imbalance(), 2.0);  // max 40 / mean 20
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.125), 1.5);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  std::vector<double> xs{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, EmptyIsZero) { EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0); }
+
+TEST(Summarize, SpanOverload) {
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  const auto acc = summarize(xs);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+}
+
+TEST(Log2Histogram, BucketsByMagnitude) {
+  Log2Histogram h;
+  h.add(0);   // bucket 0
+  h.add(1);   // bucket 1: [1,1]
+  h.add(2);   // bucket 2: [2,3]
+  h.add(3);   // bucket 2
+  h.add(4);   // bucket 3: [4,7]
+  h.add(100);  // bucket 7: [64,127]
+  const auto& b = h.buckets();
+  ASSERT_GE(b.size(), 8u);
+  EXPECT_EQ(b[0], 1u);
+  EXPECT_EQ(b[1], 1u);
+  EXPECT_EQ(b[2], 2u);
+  EXPECT_EQ(b[3], 1u);
+  EXPECT_EQ(b[7], 1u);
+  EXPECT_FALSE(h.render().empty());
+}
+
+}  // namespace
+}  // namespace km

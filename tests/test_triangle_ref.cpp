@@ -1,0 +1,143 @@
+// Tests for the sequential triangle/triad kernels (graph/triangle_ref.hpp).
+#include "graph/triangle_ref.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "util/mathx.hpp"
+
+namespace km {
+namespace {
+
+/// O(n^3) brute-force triangle count for cross-checking.
+std::uint64_t brute_force_triangles(const Graph& g) {
+  std::uint64_t count = 0;
+  const auto n = static_cast<Vertex>(g.num_vertices());
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (!g.has_edge(u, v)) continue;
+      for (Vertex w = v + 1; w < n; ++w) {
+        if (g.has_edge(u, w) && g.has_edge(v, w)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(TriangleRef, CompleteGraphCounts) {
+  for (std::size_t n : {3, 4, 5, 6, 10}) {
+    const auto g = complete_graph(n);
+    EXPECT_EQ(count_triangles(g),
+              static_cast<std::uint64_t>(binomial_coeff(n, 3)))
+        << "K_" << n;
+  }
+}
+
+TEST(TriangleRef, TriangleFreeGraphs) {
+  EXPECT_EQ(count_triangles(path_graph(20)), 0u);
+  EXPECT_EQ(count_triangles(cycle_graph(8)), 0u);
+  EXPECT_EQ(count_triangles(star_graph(30)), 0u);
+  Rng rng(1);
+  EXPECT_EQ(count_triangles(random_bipartite(20, 20, 0.5, rng)), 0u);
+}
+
+TEST(TriangleRef, SingleTriangleEnumeration) {
+  const auto g = Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const auto ts = enumerate_triangles(g);
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0], (Triangle{0, 1, 2}));
+}
+
+TEST(TriangleRef, EnumerationHasNoDuplicatesAndIsSorted) {
+  Rng rng(2);
+  const auto g = gnp(80, 0.3, rng);
+  const auto ts = enumerate_triangles(g);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+  EXPECT_EQ(std::set<Triangle>(ts.begin(), ts.end()).size(), ts.size());
+  for (const auto& t : ts) {
+    EXPECT_LT(t[0], t[1]);
+    EXPECT_LT(t[1], t[2]);
+    EXPECT_TRUE(g.has_edge(t[0], t[1]));
+    EXPECT_TRUE(g.has_edge(t[1], t[2]));
+    EXPECT_TRUE(g.has_edge(t[0], t[2]));
+  }
+}
+
+class TriangleSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriangleSeedSweep, MatchesBruteForceOnGnp) {
+  Rng rng(GetParam());
+  const auto g = gnp(60, 0.25, rng);
+  EXPECT_EQ(count_triangles(g), brute_force_triangles(g));
+}
+
+TEST_P(TriangleSeedSweep, PerVertexCountsSumToThreeTimesTotal) {
+  Rng rng(GetParam() ^ 0x111);
+  const auto g = gnp(70, 0.2, rng);
+  const auto counts = per_vertex_triangle_counts(g);
+  std::uint64_t sum = 0;
+  for (auto c : counts) sum += c;
+  EXPECT_EQ(sum, 3 * count_triangles(g));
+}
+
+TEST_P(TriangleSeedSweep, OpenTriadIdentityHolds) {
+  // #open triads = sum_v C(deg v,2) - 3 * #triangles; and enumeration
+  // must agree with the closed-form count.
+  Rng rng(GetParam() ^ 0x222);
+  const auto g = gnp(40, 0.3, rng);
+  EXPECT_EQ(enumerate_open_triads(g).size(), count_open_triads(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleSeedSweep,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(TriangleRef, OpenTriadsOfStar) {
+  // Star K_{1,n-1}: every pair of leaves is an open triad via the center.
+  const auto g = star_graph(10);
+  EXPECT_EQ(count_open_triads(g), binomial_coeff(9, 2));
+  const auto triads = enumerate_open_triads(g);
+  EXPECT_EQ(triads.size(), 36u);
+  for (const auto& t : triads) {
+    // Center 0 is the middle vertex; stored sorted so t[0] == 0.
+    EXPECT_EQ(t[0], 0u);
+  }
+}
+
+TEST(TriangleRef, OpenTriadsOfCompleteGraphIsZero) {
+  EXPECT_EQ(count_open_triads(complete_graph(8)), 0u);
+  EXPECT_TRUE(enumerate_open_triads(complete_graph(8)).empty());
+}
+
+TEST(TriangleRef, ClusteringCoefficient) {
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(complete_graph(6)), 1.0);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(star_graph(6)), 0.0);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(path_graph(2)), 0.0);
+}
+
+TEST(TriangleRef, WattsStrogatzLatticeHasHighClustering) {
+  Rng rng(7);
+  const auto g = watts_strogatz(200, 6, 0.0, rng);
+  EXPECT_GT(global_clustering_coefficient(g), 0.4);
+}
+
+TEST(TriangleRef, RivinBoundHoldsEmpirically) {
+  // Any graph respects t <= max_triangles_for_edges(m) (Lemma 11's tool).
+  Rng rng(8);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = gnp(60, 0.2 + 0.1 * trial, rng);
+    const double t = static_cast<double>(count_triangles(g));
+    EXPECT_LE(t, max_triangles_for_edges(static_cast<double>(g.num_edges())));
+  }
+}
+
+TEST(TriangleRef, EmptyAndTinyGraphs) {
+  EXPECT_EQ(count_triangles(Graph::from_edges(0, {})), 0u);
+  EXPECT_EQ(count_triangles(Graph::from_edges(1, {})), 0u);
+  EXPECT_EQ(count_triangles(Graph::from_edges(2, {{0, 1}})), 0u);
+  EXPECT_EQ(count_open_triads(Graph::from_edges(2, {{0, 1}})), 0u);
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,151 @@
+// Tests for the weighted substrate (graph/weighted.hpp): CSR invariants,
+// union-find, and the Kruskal reference MST.
+#include "graph/weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace km {
+namespace {
+
+TEST(WeightedGraph, BasicConstruction) {
+  const auto g = WeightedGraph::from_edges(
+      4, {{0, 1, 5}, {1, 2, 3}, {2, 3, 7}, {0, 3, 1}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  // Adjacency and weights are parallel arrays.
+  const auto ns = g.neighbors(1);
+  const auto ws = g.weights(1);
+  ASSERT_EQ(ns.size(), 2u);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    if (ns[i] == 0) EXPECT_EQ(ws[i], 5u);
+    if (ns[i] == 2) EXPECT_EQ(ws[i], 3u);
+  }
+}
+
+TEST(WeightedGraph, ParallelEdgesKeepLightest) {
+  const auto g = WeightedGraph::from_edges(2, {{0, 1, 9}, {1, 0, 4}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.weights(0)[0], 4u);
+}
+
+TEST(WeightedGraph, SelfLoopsDropped) {
+  const auto g = WeightedGraph::from_edges(2, {{0, 0, 3}, {0, 1, 2}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(WeightedGraph, OutOfRangeThrows) {
+  EXPECT_THROW(WeightedGraph::from_edges(2, {{0, 5, 1}}), std::out_of_range);
+}
+
+TEST(WeightedGraph, TopologyMatches) {
+  Rng rng(1);
+  const auto base = gnp(50, 0.2, rng);
+  const auto wg = WeightedGraph::randomize_weights(base, 100, rng);
+  EXPECT_EQ(wg.topology().edge_list(), base.edge_list());
+}
+
+TEST(WeightedGraph, CompleteRandomShape) {
+  Rng rng(2);
+  const auto g = WeightedGraph::complete_random(10, 1000, rng);
+  EXPECT_EQ(g.num_edges(), 45u);
+  for (const auto& e : g.edge_list()) {
+    EXPECT_GE(e.weight, 1u);
+    EXPECT_LE(e.weight, 1000u);
+  }
+}
+
+TEST(WeightedGraph, EdgeOrderIsTotal) {
+  // mst_edge_less must order equal-weight edges by endpoints.
+  const WeightedEdge a{0, 1, 5}, b{0, 2, 5}, c{0, 1, 4};
+  EXPECT_TRUE(mst_edge_less(c, a));
+  EXPECT_TRUE(mst_edge_less(a, b));
+  EXPECT_FALSE(mst_edge_less(a, a));
+}
+
+TEST(UnionFind, BasicOperations) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_NE(uf.find(0), uf.find(2));
+  EXPECT_TRUE(uf.unite(1, 3));
+  EXPECT_EQ(uf.find(0), uf.find(2));
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(Kruskal, PathGraphTakesAllEdges) {
+  Rng rng(3);
+  const auto g = WeightedGraph::randomize_weights(path_graph(10), 50, rng);
+  const auto mst = kruskal_mst(g);
+  EXPECT_EQ(mst.edges.size(), 9u);
+}
+
+TEST(Kruskal, KnownSmallInstance) {
+  //     1       2
+  //  0 --- 1 --- 2
+  //   \         /
+  //    \---9---/        MST = {(0,1,1),(1,2,2)}, weight 3.
+  const auto g =
+      WeightedGraph::from_edges(3, {{0, 1, 1}, {1, 2, 2}, {0, 2, 9}});
+  const auto mst = kruskal_mst(g);
+  ASSERT_EQ(mst.edges.size(), 2u);
+  EXPECT_EQ(mst.total_weight, 3u);
+  EXPECT_EQ(mst.edges[0], (WeightedEdge{0, 1, 1}));
+  EXPECT_EQ(mst.edges[1], (WeightedEdge{1, 2, 2}));
+}
+
+TEST(Kruskal, SpanningForestOnDisconnectedGraph) {
+  const auto g = WeightedGraph::from_edges(
+      5, {{0, 1, 2}, {1, 2, 3}, {3, 4, 1}});
+  const auto mst = kruskal_mst(g);
+  EXPECT_EQ(mst.edges.size(), 3u);  // 2 components: (3-1) + (2-1) edges
+  EXPECT_EQ(mst.total_weight, 6u);
+}
+
+TEST(Kruskal, TreeSizeOnConnectedGraphs) {
+  Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto base = gnp(80, 0.15, rng);
+    if (!is_connected(base)) continue;
+    const auto g = WeightedGraph::randomize_weights(base, 1000, rng);
+    EXPECT_EQ(kruskal_mst(g).edges.size(), 79u);
+  }
+}
+
+TEST(Kruskal, UniqueForestUnderTieBreakOrder) {
+  // With many duplicate weights the forest is still deterministic.
+  Rng rng(5);
+  const auto base = gnp(60, 0.3, rng);
+  const auto g = WeightedGraph::randomize_weights(base, 3, rng);  // ties!
+  const auto a = kruskal_mst(g);
+  const auto b = kruskal_mst(g);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(Kruskal, WeightIsMinimalAgainstRandomSpanningTrees) {
+  // Any other spanning structure must weigh at least as much.
+  Rng rng(6);
+  const auto g = WeightedGraph::complete_random(20, 100, rng);
+  const auto mst = kruskal_mst(g);
+  // Compare against star spanning trees rooted at each vertex.
+  auto weight_of_star = [&](Vertex root) {
+    std::uint64_t total = 0;
+    const auto ns = g.neighbors(root);
+    const auto ws = g.weights(root);
+    for (std::size_t i = 0; i < ns.size(); ++i) total += ws[i];
+    return total;
+  };
+  for (Vertex r = 0; r < 20; ++r) {
+    EXPECT_LE(mst.total_weight, weight_of_star(r));
+  }
+}
+
+}  // namespace
+}  // namespace km
