@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Build the Release tree and run every bench_* binary, collecting Google
+# Benchmark JSON into BENCH_<name>.json (one file per binary) under
+# --out-dir (default: bench-results/).  Console output streams through so
+# the paper-curve tables printed by bench_common.hpp stay visible.
+#
+# Usage: scripts/run_benches.sh [--build-dir DIR] [--out-dir DIR] [--filter REGEX]
+set -euo pipefail
+
+# A dedicated build dir: configuring with KM_BUILD_TESTS=OFF must not
+# poison the cache of the shared release preset tree.
+BUILD_DIR=build/bench
+OUT_DIR=bench-results
+FILTER=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out-dir)   OUT_DIR="$2"; shift 2 ;;
+    --filter)    FILTER="$2"; shift 2 ;;
+    -h|--help)   grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DKM_BUILD_TESTS=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+mkdir -p "$OUT_DIR"
+
+shopt -s nullglob
+benches=("$BUILD_DIR"/bench/bench_*)
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "no bench binaries under $BUILD_DIR/bench -- was Google Benchmark found at configure time?" >&2
+  exit 1
+fi
+
+failures=0
+for bin in "${benches[@]}"; do
+  [[ -x $bin && ! -d $bin ]] || continue
+  name="$(basename "$bin")"
+  if [[ -n $FILTER && ! $name =~ $FILTER ]]; then
+    continue
+  fi
+  echo "==> $name"
+  if ! "$bin" --benchmark_out="$OUT_DIR/BENCH_${name#bench_}.json" \
+              --benchmark_out_format=json; then
+    echo "FAILED: $name" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+echo
+echo "Results in $OUT_DIR/ ($(ls "$OUT_DIR" | wc -l) files), $failures failure(s)."
+exit "$((failures > 0))"

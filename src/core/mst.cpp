@@ -82,11 +82,6 @@ DistributedMstResult run_boruvka(const WeightedGraph& g,
     // frag[i] = fragment (root vertex id) of owned[i].
     std::vector<std::uint32_t> frag(owned.size());
     for (std::size_t i = 0; i < owned.size(); ++i) frag[i] = owned[i];
-    auto local_index = [&](Vertex v) {
-      return static_cast<std::size_t>(
-          std::lower_bound(owned.begin(), owned.end(), v) - owned.begin());
-    };
-
     std::size_t phase = 0;
     while (phase < max_phases) {
       ++phase;

@@ -15,7 +15,8 @@ TEST(Bounds, GeneralTheoremFormula) {
   const GeneralLowerBound lb{.entropy_bits = 1000.0,
                              .info_cost_bits = 500.0,
                              .bandwidth_bits = 10.0,
-                             .k = 5.0};
+                             .k = 5.0,
+                             .derivation = {}};
   EXPECT_DOUBLE_EQ(lb.rounds(), 10.0);  // IC/(Bk) = 500/50
   // Lemma 3: the transcript entropy budget (B+1)(k-1)T differs from BkT
   // only by the (1+1/B)(1-1/k) factor, so at T = rounds() it covers IC
@@ -28,7 +29,8 @@ TEST(Bounds, GeneralTheoremFormula) {
   const GeneralLowerBound wide{.entropy_bits = 1000.0,
                                .info_cost_bits = 500.0,
                                .bandwidth_bits = 10.0,
-                               .k = 12.0};
+                               .k = 12.0,
+                               .derivation = {}};
   EXPECT_GE(wide.transcript_entropy_bits(wide.rounds()),
             wide.info_cost_bits);
 }

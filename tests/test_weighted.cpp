@@ -21,8 +21,12 @@ TEST(WeightedGraph, BasicConstruction) {
   const auto ws = g.weights(1);
   ASSERT_EQ(ns.size(), 2u);
   for (std::size_t i = 0; i < ns.size(); ++i) {
-    if (ns[i] == 0) EXPECT_EQ(ws[i], 5u);
-    if (ns[i] == 2) EXPECT_EQ(ws[i], 3u);
+    if (ns[i] == 0) {
+      EXPECT_EQ(ws[i], 5u);
+    }
+    if (ns[i] == 2) {
+      EXPECT_EQ(ws[i], 3u);
+    }
   }
 }
 
