@@ -1,20 +1,23 @@
-// Quickstart: the smallest complete tour of the public API.
+// Quickstart: the smallest complete tour of the public API, using the
+// runtime layer (src/runtime/) — the intended entry point:
 //
-//   1. build a graph,
-//   2. partition it over k machines with the random vertex partition,
+//   1. look up workloads in the registry (the same ones `km_run list`
+//      shows),
+//   2. resolve a dataset spec string through the dataset provider,
 //   3. run distributed PageRank and triangle enumeration on the
-//      simulated k-machine cluster,
-//   4. read off the round/message costs the paper's theorems bound.
+//      simulated k-machine cluster, with the sequential reference checks
+//      the adapters carry,
+//   4. read off the round/message costs the paper's theorems bound, and
+//      print one result as the km.run_result/v1 JSON document.
 //
 // Usage: quickstart [--n=300] [--k=8] [--seed=1]
 #include <cstdio>
+#include <string>
 
 #include "core/bounds.hpp"
-#include "core/pagerank.hpp"
-#include "core/triangles.hpp"
-#include "graph/generators.hpp"
-#include "graph/pagerank_ref.hpp"
-#include "graph/triangle_ref.hpp"
+#include "runtime/dataset.hpp"
+#include "runtime/results.hpp"
+#include "runtime/workload.hpp"
 #include "util/options.hpp"
 
 int main(int argc, char** argv) {
@@ -24,52 +27,46 @@ int main(int argc, char** argv) {
   const std::size_t k = opts.get_uint("k", 8);
   const std::uint64_t seed = opts.get_uint("seed", 1);
 
-  // 1. A small social-network-like graph.
-  Rng rng(seed);
-  const Graph g = watts_strogatz(n, 8, 0.2, rng);
-  std::printf("graph: n=%zu m=%zu\n", g.num_vertices(), g.num_edges());
-
-  // 2. Random vertex partition over k machines (Section 1.1 of the
-  // paper): each vertex and its incident edges land on a random machine.
-  Rng prng(seed + 1);
-  const auto partition = VertexPartition::random(n, k, prng);
-  std::printf("partition: k=%zu, max load %zu (imbalance %.2f)\n", k,
-              partition.max_load(), partition.imbalance());
-
-  const std::uint64_t B = EngineConfig::default_bandwidth(n);
-
-  // 3a. Distributed PageRank (Algorithm 1, O~(n/k^2) rounds).
-  {
-    Engine engine(k, {.bandwidth_bits = B, .seed = seed + 2});
-    const auto result =
-        distributed_pagerank(Digraph::from_undirected(g), partition, engine,
-                             {.eps = 0.2, .c = 16.0});
-    const auto ref = expected_visit_pagerank(Digraph::from_undirected(g),
-                                             {.eps = 0.2});
-    const double err = l1_distance(result.estimates, ref);
-    std::printf("pagerank: %zu walk iterations, %llu rounds, "
-                "L1 error vs exact %.4f\n",
-                result.iterations,
-                static_cast<unsigned long long>(result.metrics.rounds), err);
+  // 1. The workload registry: every algorithm is a named entry point.
+  std::printf("registered workloads:");
+  for (const Workload* w : WorkloadRegistry::instance().list()) {
+    std::printf(" %s", std::string(w->name()).c_str());
   }
+  std::printf("\n");
+
+  // 2. A small social-network-like dataset from a spec string.  The same
+  // string works with `km_run run --dataset ...`.
+  const std::string spec =
+      "ws:n=" + std::to_string(n) + ",degree=8,beta=0.2";
+  const RunParams params{.k = k, .seed = seed};
+
+  // 3a. Distributed PageRank (Algorithm 1, O~(n/k^2) rounds), checked
+  // against the exact expected-visit fixpoint by the adapter.
+  const Workload* pagerank = WorkloadRegistry::instance().find("pagerank");
+  const Dataset directed =
+      load_dataset(spec, pagerank->input_kind(), params.seed);
+  std::printf("dataset: %s (n=%zu, m=%zu arcs)\n", directed.spec.c_str(),
+              directed.n, directed.m);
+  const RunResult pr = run_workload(*pagerank, directed, params);
+  std::printf("%s\n", run_result_summary(pr).c_str());
 
   // 3b. Distributed triangle enumeration (O~(m/k^{5/3}+n/k^{4/3})).
-  {
-    Engine engine(k, {.bandwidth_bits = B, .seed = seed + 3});
-    const auto result = distributed_triangles(g, partition, engine, {});
-    std::printf("triangles: found %llu (reference %llu) in %llu rounds, "
-                "%llu messages\n",
-                static_cast<unsigned long long>(result.total),
-                static_cast<unsigned long long>(count_triangles(g)),
-                static_cast<unsigned long long>(result.metrics.rounds),
-                static_cast<unsigned long long>(result.metrics.messages));
-  }
+  const Workload* triangles = WorkloadRegistry::instance().find("triangles");
+  const Dataset undirected =
+      load_dataset(spec, triangles->input_kind(), params.seed);
+  const RunResult tri = run_workload(*triangles, undirected, params);
+  std::printf("%s\n", run_result_summary(tri).c_str());
 
-  // 4. What the paper's lower bounds say about this instance.
+  // 4. What the paper's lower bounds say about this instance, and the
+  // machine-readable result document (what `km_run --json` writes).
+  const std::uint64_t B = pr.params.bandwidth_bits;
   const auto pr_lb = pagerank_lower_bound(n, k, B);
   const auto tr_lb = triangle_lower_bound(n, k, B);
   std::printf("theorem 2 (PageRank LB): >= %.2f rounds\n", pr_lb.rounds());
   std::printf("theorem 3 (triangle LB on G(n,1/2)): >= %.2f rounds\n",
               tr_lb.rounds());
-  return 0;
+  std::printf("triangle run as JSON:\n%s\n",
+              run_result_to_json(tri).c_str());
+
+  return (pr.check.ok && tri.check.ok) ? 0 : 1;
 }

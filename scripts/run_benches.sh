@@ -53,6 +53,38 @@ for bin in "${benches[@]}"; do
   fi
 done
 
+# Merge the per-bench documents into one artifact so the perf trajectory
+# across commits is a single file: BENCH_ALL.json maps bench name -> the
+# Google Benchmark JSON document.  A bench that crashed mid-run can leave
+# an empty or truncated output file, so each input is validated (python3
+# when available, non-emptiness otherwise) and skipped — not merged —
+# when invalid, keeping the artifact itself valid JSON.
+merge_results() {
+  local merged="$OUT_DIR/BENCH_ALL.json" first=1 count=0 f name
+  {
+    printf '{\n'
+    for f in "$OUT_DIR"/BENCH_*.json; do
+      [[ $(basename "$f") == BENCH_ALL.json ]] && continue
+      if command -v python3 > /dev/null; then
+        python3 -m json.tool "$f" > /dev/null 2>&1 || {
+          echo "skipping invalid $f" >&2; continue; }
+      elif [[ ! -s $f ]]; then
+        echo "skipping empty $f" >&2; continue
+      fi
+      name="$(basename "$f" .json)"
+      name="${name#BENCH_}"
+      [[ $first -eq 1 ]] || printf ',\n'
+      first=0
+      printf '"%s": ' "$name"
+      cat "$f"
+      count=$((count + 1))
+    done
+    printf '\n}\n'
+  } > "$merged"
+  echo "Merged $count document(s) into $merged"
+}
+merge_results
+
 echo
 echo "Results in $OUT_DIR/ ($(ls "$OUT_DIR" | wc -l) files), $failures failure(s)."
 exit "$((failures > 0))"

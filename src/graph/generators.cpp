@@ -177,4 +177,38 @@ Graph random_bipartite(std::size_t a, std::size_t b, double p, Rng& rng) {
   return Graph::from_edges(a + b, std::move(edges));
 }
 
+Graph rmat(std::size_t n, std::size_t edges, Rng& rng, double a, double b,
+           double c) {
+  if (a < 0 || b < 0 || c < 0 || a + b + c > 1.0) {
+    throw std::invalid_argument("rmat: need a,b,c >= 0 and a+b+c <= 1");
+  }
+  if (n == 0) return Graph{};
+  std::size_t levels = 0;
+  while ((std::size_t{1} << levels) < n) ++levels;
+  std::vector<Edge> list;
+  list.reserve(edges);
+  for (std::size_t e = 0; e < edges; ++e) {
+    std::uint64_t u = 0, v = 0;
+    for (std::size_t level = 0; level < levels; ++level) {
+      const double r = rng.real01();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: both bits 0
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    // The matrix is 2^levels wide; rejection keeps IDs inside [0, n).
+    if (u >= n || v >= n || u == v) continue;
+    list.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  return Graph::from_edges(n, std::move(list));
+}
+
 }  // namespace km

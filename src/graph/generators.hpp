@@ -52,4 +52,14 @@ Graph watts_strogatz(std::size_t n, std::size_t degree, double beta,
 /// (triangle-free by construction; used as a negative control).
 Graph random_bipartite(std::size_t a, std::size_t b, double p, Rng& rng);
 
+/// R-MAT (Chakrabarti-Zhan-Faloutsos) recursive-matrix graph: `edges`
+/// undirected edges dropped into an n x n adjacency matrix (n rounded up
+/// to a power of two) by recursively descending into quadrants with
+/// probabilities (a, b, c, 1-a-b-c).  Defaults are the Graph500 mix;
+/// produces the skewed degree distributions of real web/social graphs.
+/// Self loops and duplicates are dropped, so the realized edge count can
+/// be slightly below `edges`.
+Graph rmat(std::size_t n, std::size_t edges, Rng& rng, double a = 0.57,
+           double b = 0.19, double c = 0.19);
+
 }  // namespace km

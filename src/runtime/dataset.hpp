@@ -1,0 +1,102 @@
+// Dataset provider for the runtime: resolves a spec string like
+// "gnp:n=1000,p=0.01" into the concrete input a workload consumes.
+//
+// Grammar:   family[:key=value[,key=value...]]
+//
+//   gnp:n=..,p=..            Erdős–Rényi G(n,p)
+//   rmat:n=..[,m=..,a=..,b=..,c=..]   R-MAT (Graph500 mix defaults)
+//   ba:n=..[,attach=..]      Barabási–Albert preferential attachment
+//   ws:n=..[,degree=..,beta=..]       Watts–Strogatz small world
+//   star:n=..                star graph (PageRank congestion hot spot)
+//   path:n=..  cycle:n=..  complete:n=..      structured graphs
+//   grid:rows=..,cols=..     2-D grid
+//   bipartite:a=..,b=..,p=.. random bipartite (triangle-free control)
+//   lbpr:q=..                the paper's PageRank lower-bound gadget H
+//                            (directed, n = 4q+1; Figure 1 / Section 2.3)
+//   keys:n=..                n uniform 64-bit keys (sorting input)
+//   file:PATH                SNAP-style edge list from disk
+//
+// Every graph family also accepts maxw=.. (max random edge weight, used
+// only when the workload needs a weighted graph) and the provider derives
+// all randomness from the caller's seed, so a (spec, seed) pair is a
+// reproducible dataset identity.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+#include "graph/weighted.hpp"
+
+namespace km {
+
+class DatasetError : public std::runtime_error {
+ public:
+  explicit DatasetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// What a workload consumes; the provider converts where possible
+/// (undirected -> directed via both arc directions, undirected ->
+/// weighted via seeded random weights).
+enum class DatasetKind {
+  kUndirected,
+  kDirected,
+  kWeighted,
+  kKeys,
+};
+
+std::string_view to_string(DatasetKind kind) noexcept;
+
+/// A parsed (but not yet materialized) dataset description.
+struct DatasetSpec {
+  std::string family;
+  /// key=value parameters in the order given (insertion order is kept so
+  /// str() round-trips).  For file: the single parameter is ("path", ..).
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// Parses "family:k=v,k=v".  Throws DatasetError on syntax errors;
+  /// family/parameter *semantics* are validated at load time.
+  static DatasetSpec parse(std::string_view text);
+
+  bool has(std::string_view key) const;
+  std::string get_string(std::string_view key, std::string_view fallback) const;
+  std::uint64_t get_uint(std::string_view key, std::uint64_t fallback) const;
+  double get_double(std::string_view key, double fallback) const;
+
+  /// Sets or overrides a parameter (used by `km_run sweep` to drive n).
+  void set(std::string_view key, std::string value);
+
+  /// Canonical re-serialization: family:k=v,k=v.
+  std::string str() const;
+};
+
+/// A materialized input.  `kind` selects which member is populated.
+struct Dataset {
+  std::string spec;  ///< canonical spec string this was built from
+  DatasetKind kind = DatasetKind::kUndirected;
+  Graph graph;                      ///< kUndirected
+  Digraph digraph;                  ///< kDirected
+  WeightedGraph weighted;           ///< kWeighted
+  std::vector<std::uint64_t> keys;  ///< kKeys
+  std::size_t n = 0;  ///< vertices (or number of keys for kKeys)
+  std::size_t m = 0;  ///< edges/arcs (0 for kKeys)
+};
+
+/// Materializes `spec` as the `required` kind, deriving randomness from
+/// `seed`.  Throws DatasetError for unknown families, missing/unknown
+/// parameters, or impossible conversions (e.g. a directed family for an
+/// undirected-only workload).
+Dataset load_dataset(const DatasetSpec& spec, DatasetKind required,
+                     std::uint64_t seed);
+Dataset load_dataset(std::string_view spec_text, DatasetKind required,
+                     std::uint64_t seed);
+
+/// One-line-per-family grammar description for --help output.
+std::string dataset_grammar_help();
+
+}  // namespace km

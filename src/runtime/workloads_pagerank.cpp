@@ -1,0 +1,69 @@
+// Workload adapters for distributed PageRank: Algorithm 1 (the paper's
+// O~(n/k^2) light/heavy-vertex algorithm) and the Conversion-Theorem
+// baseline.  Both are Monte Carlo, so the check compares the estimate's
+// L1 distance to the exact expected-visit fixpoint against a tolerance
+// (the estimator concentrates as c*log(n) tokens per vertex).
+#include <string>
+
+#include "core/pagerank.hpp"
+#include "graph/pagerank_ref.hpp"
+#include "runtime/workload.hpp"
+
+namespace km {
+namespace {
+
+constexpr double kEps = 0.2;   ///< reset probability
+constexpr double kC = 16.0;    ///< token multiplier (c * ln n per vertex)
+constexpr double kL1Tolerance = 0.15;
+
+template <bool kBaseline>
+class PageRankWorkload final : public Workload {
+ public:
+  std::string_view name() const override {
+    return kBaseline ? "pagerank_baseline" : "pagerank";
+  }
+  std::string_view description() const override {
+    return kBaseline
+               ? "naive token-forwarding PageRank baseline, O~(n/k) rounds; "
+                 "checked against the expected-visit fixpoint"
+               : "Algorithm 1 PageRank (light/heavy vertex split), "
+                 "O~(n/k^2) rounds; checked against the expected-visit "
+                 "fixpoint";
+  }
+  DatasetKind input_kind() const override { return DatasetKind::kDirected; }
+
+  RunResult run(Engine& engine, const Dataset& dataset,
+                const RunParams& params) const override {
+    const auto partition =
+        runtime_partition(dataset.n, params.k, params.seed);
+    const PageRankConfig config{.eps = kEps, .c = kC};
+    const PageRankResult dist =
+        kBaseline ? distributed_pagerank_baseline(dataset.digraph, partition,
+                                                  engine, config)
+                  : distributed_pagerank(dataset.digraph, partition, engine,
+                                         config);
+    RunResult result = make_result(dataset, params, dist.metrics);
+    result.add_output("iterations", std::uint64_t{dist.iterations});
+    result.add_output("tokens_per_vertex", dist.initial_tokens_per_vertex);
+    if (params.check) {
+      const auto ref =
+          expected_visit_pagerank(dataset.digraph, {.eps = kEps});
+      const double err = l1_distance(dist.estimates, ref);
+      result.add_output("l1_error", err);
+      result.check.performed = true;
+      result.check.ok = err <= kL1Tolerance;
+      result.check.detail =
+          "L1 distance to expected-visit fixpoint " + std::to_string(err) +
+          " (tolerance " + std::to_string(kL1Tolerance) + ")";
+    }
+    return result;
+  }
+};
+
+const WorkloadRegistrar pagerank_registrar{
+    std::make_unique<PageRankWorkload<false>>()};
+const WorkloadRegistrar pagerank_baseline_registrar{
+    std::make_unique<PageRankWorkload<true>>()};
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,68 @@
+// Workload adapter for distributed sample sort (Section 1.3's O~(n/k^2)
+// sorting application of the General Lower Bound Theorem), checked
+// against std::sort: the concatenated per-machine blocks must equal the
+// globally sorted key sequence with exact order-statistic boundaries.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/sorting.hpp"
+#include "runtime/workload.hpp"
+#include "util/rng.hpp"
+
+namespace km {
+namespace {
+
+class SortWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "sort"; }
+  std::string_view description() const override {
+    return "distributed sample sort into exact per-machine order-statistic "
+           "blocks, O~(n/k^2) rounds; checked against std::sort";
+  }
+  DatasetKind input_kind() const override { return DatasetKind::kKeys; }
+
+  RunResult run(Engine& engine, const Dataset& dataset,
+                const RunParams& params) const override {
+    SortConfig config;
+    config.placement_seed = mix64(params.seed, 0xBEEF'0001ULL);
+    const SortResult dist =
+        distributed_sample_sort(dataset.keys, engine, config);
+    RunResult result = make_result(dataset, params, dist.metrics);
+    result.add_output("keys", std::uint64_t{dataset.keys.size()});
+    std::size_t max_block = 0;
+    for (const auto& block : dist.blocks) {
+      max_block = std::max(max_block, block.size());
+    }
+    result.add_output("max_block", std::uint64_t{max_block});
+    if (params.check) {
+      std::vector<std::uint64_t> ref = dataset.keys;
+      std::sort(ref.begin(), ref.end());
+      std::vector<std::uint64_t> merged;
+      merged.reserve(ref.size());
+      for (const auto& block : dist.blocks) {
+        merged.insert(merged.end(), block.begin(), block.end());
+      }
+      bool boundaries_ok = dist.offsets.size() == dist.blocks.size() + 1;
+      if (boundaries_ok) {
+        for (std::size_t i = 0; i < dist.blocks.size(); ++i) {
+          boundaries_ok &= dist.offsets[i + 1] - dist.offsets[i] ==
+                           dist.blocks[i].size();
+        }
+      }
+      result.check.performed = true;
+      result.check.ok = merged == ref && boundaries_ok;
+      result.check.detail =
+          "concatenated blocks " +
+          std::string(merged == ref ? "equal" : "DIFFER from") +
+          " std::sort order; block boundaries " +
+          (boundaries_ok ? "exact" : "WRONG");
+    }
+    return result;
+  }
+};
+
+const WorkloadRegistrar sort_registrar{std::make_unique<SortWorkload>()};
+
+}  // namespace
+}  // namespace km

@@ -202,7 +202,16 @@ void Engine::on_barrier_complete() {
       metrics_.recv_bits_per_machine);
   // The final barrier generation where every machine has already finished
   // (the drain pass) is bookkeeping, not a superstep of the algorithm.
-  if (!(finished_count_ == k_ && !stats.any)) ++metrics_.supersteps;
+  if (!(finished_count_ == k_ && !stats.any)) {
+    if (config_.record_timeline) {
+      metrics_.timeline.push_back({.superstep = metrics_.supersteps,
+                                   .rounds = stats.rounds,
+                                   .messages = stats.messages,
+                                   .bits = stats.bits,
+                                   .max_link_bits = stats.max_link_bits});
+    }
+    ++metrics_.supersteps;
+  }
   metrics_.rounds += stats.rounds;
   metrics_.messages += stats.messages;
   metrics_.bits += stats.bits;

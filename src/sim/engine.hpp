@@ -41,6 +41,8 @@ struct EngineConfig {
   std::uint64_t bandwidth_bits = 256;  ///< B, per link per round
   std::uint64_t seed = 0x5eedULL;      ///< base seed for machine RNGs
   std::uint64_t max_supersteps = 1'000'000;  ///< runaway-loop backstop
+  /// Record a per-superstep SuperstepStats timeline in Metrics::timeline.
+  bool record_timeline = false;
 
   /// Bandwidth used throughout the paper: B = Theta(polylog n).
   /// We use B = 16 * ceil(log2 n)^2 bits (a handful of O(log n)-bit

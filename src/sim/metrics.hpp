@@ -14,6 +14,20 @@
 
 namespace km {
 
+/// Cost of one superstep, recorded when EngineConfig::record_timeline is
+/// set.  The sum of each field over the timeline equals the corresponding
+/// Metrics total (tests/test_metrics.cpp asserts this invariant).
+struct SuperstepStats {
+  std::uint64_t superstep = 0;  ///< 0-based index
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t max_link_bits = 0;  ///< peak single-link load this superstep
+
+  friend bool operator==(const SuperstepStats&,
+                         const SuperstepStats&) = default;
+};
+
 struct Metrics {
   std::uint64_t rounds = 0;
   std::uint64_t supersteps = 0;
@@ -24,6 +38,11 @@ struct Metrics {
   std::vector<std::uint64_t> send_bits_per_machine;
   std::vector<std::uint64_t> recv_bits_per_machine;
   double wall_ms = 0.0;
+
+  /// Per-superstep cost breakdown; empty unless the engine ran with
+  /// EngineConfig::record_timeline (opt-in: size is k-independent but
+  /// grows with supersteps, and most callers only want totals).
+  std::vector<SuperstepStats> timeline;
 
   /// Max bits received by any machine = empirical information cost bound.
   std::uint64_t max_recv_bits() const noexcept {

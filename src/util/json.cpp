@@ -1,0 +1,171 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <system_error>
+
+namespace km {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  out_.push_back('\n');
+  out_.append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) return;  // the root value
+  if (stack_.back() == Frame::kObject) {
+    if (!key_pending_) {
+      throw std::logic_error("JsonWriter: value inside object requires key()");
+    }
+    key_pending_ = false;
+    return;  // comma/indent were emitted by key()
+  }
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty() || stack_.back() != Frame::kObject) {
+    throw std::logic_error("JsonWriter: key() outside of object");
+  }
+  if (key_pending_) throw std::logic_error("JsonWriter: key() twice in a row");
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+  newline_indent();
+  out_ += escape(name);
+  out_ += indent_ > 0 ? ": " : ":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  out_.push_back('{');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || key_pending_) {
+    throw std::logic_error("JsonWriter: mismatched end_object()");
+  }
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  out_.push_back('}');
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  out_.push_back('[');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: mismatched end_array()");
+  }
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  out_.push_back(']');
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += escape(v);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    // JSON has no NaN/Inf; null is the conventional stand-in.
+    out_ += "null";
+  } else {
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    if (res.ec != std::errc{}) throw std::logic_error("JsonWriter: to_chars");
+    out_.append(buf, res.ptr);
+  }
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!done_) throw std::logic_error("JsonWriter: document incomplete");
+  return out_;
+}
+
+}  // namespace km

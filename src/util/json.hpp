@@ -1,0 +1,69 @@
+// Minimal streaming JSON writer — the serialization side of the runtime's
+// machine-readable results (no external JSON dependency, by design).
+//
+// The writer emits RFC 8259 JSON: keys in insertion order (schema-stable
+// output for diffing and regression tracking), strings escaped, doubles
+// printed with std::to_chars shortest round-trip form so re-parsing yields
+// bit-identical values.  Structural misuse (value without a key inside an
+// object, mismatched end_*) throws std::logic_error rather than emitting
+// malformed output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace km {
+
+class JsonWriter {
+ public:
+  /// indent == 0: compact one-line output; indent > 0: pretty-printed.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key for the next value; valid only directly inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) { return value(std::uint64_t{v}); }
+  JsonWriter& value(std::int32_t v) { return value(std::int64_t{v}); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// The finished document. Throws if containers are still open.
+  std::string str() const;
+
+  /// Escapes `s` as a JSON string literal including the quotes.
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Frame { kObject, kArray };
+
+  void before_value();
+  void newline_indent();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool key_pending_ = false;
+  bool done_ = false;
+  int indent_;
+};
+
+}  // namespace km

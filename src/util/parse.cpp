@@ -1,0 +1,47 @@
+#include "util/parse.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace km {
+
+bool parse_strict_uint(const std::string& text, std::uint64_t& out) noexcept {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size() ||
+      end == text.c_str()) {
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+bool parse_strict_int(const std::string& text, std::int64_t& out) noexcept {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size() ||
+      end == text.c_str()) {
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+bool parse_strict_double(const std::string& text, double& out) noexcept {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (errno == ERANGE || end != text.c_str() + text.size() ||
+      end == text.c_str()) {
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+}  // namespace km

@@ -1,0 +1,25 @@
+// Strict string-to-number parsing, shared by everything that turns user
+// text into numbers (CLI options, dataset specs, list flags).  One
+// implementation of the fiddly rules — whole-string consumption, no sign
+// on unsigned values, overflow detection — so a fix lands everywhere.
+//
+// All functions return false (leaving `out` untouched) on empty input,
+// trailing garbage, overflow/underflow, or a sign where none is allowed;
+// callers wrap the failure in their own error type and message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace km {
+
+/// Base-10 unsigned integer; rejects '+'/'-' prefixes.
+bool parse_strict_uint(const std::string& text, std::uint64_t& out) noexcept;
+
+/// Base-10 signed integer.
+bool parse_strict_int(const std::string& text, std::int64_t& out) noexcept;
+
+/// Floating point (strtod grammar, whole string must parse).
+bool parse_strict_double(const std::string& text, double& out) noexcept;
+
+}  // namespace km

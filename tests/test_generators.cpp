@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "graph/properties.hpp"
 
 namespace km {
@@ -156,6 +158,31 @@ TEST(Generators, GnpDeterministicPerSeed) {
   const auto g1 = gnp(100, 0.3, a);
   const auto g2 = gnp(100, 0.3, b);
   EXPECT_EQ(g1.edge_list(), g2.edge_list());
+}
+
+TEST(Generators, RmatShape) {
+  Rng rng(48);
+  const auto g = rmat(1000, 8000, rng);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  // Self loops / duplicates / out-of-range rejections shrink the count,
+  // but most of the budget should survive.
+  EXPECT_LE(g.num_edges(), 8000u);
+  EXPECT_GT(g.num_edges(), 4000u);
+  // The Graph500 parameter mix is strongly skewed toward low-ID vertices.
+  const auto stats = degree_stats(g);
+  EXPECT_GT(stats.max, 4 * static_cast<std::size_t>(stats.mean));
+}
+
+TEST(Generators, RmatDeterministicPerSeed) {
+  Rng a(49), b(49);
+  EXPECT_EQ(rmat(256, 2000, a).edge_list(), rmat(256, 2000, b).edge_list());
+}
+
+TEST(Generators, RmatEdgeCases) {
+  Rng rng(50);
+  EXPECT_EQ(rmat(0, 100, rng).num_vertices(), 0u);
+  EXPECT_EQ(rmat(1, 100, rng).num_edges(), 0u);  // only self loops possible
+  EXPECT_THROW(rmat(16, 10, rng, 0.8, 0.2, 0.2), std::invalid_argument);
 }
 
 }  // namespace

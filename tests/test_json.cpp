@@ -1,0 +1,109 @@
+// Unit tests for the streaming JSON writer (util/json.hpp).
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace km {
+namespace {
+
+TEST(Json, CompactObject) {
+  JsonWriter w(0);
+  w.begin_object()
+      .field("name", "mst")
+      .field("k", std::uint64_t{8})
+      .field("ok", true)
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"name":"mst","k":8,"ok":true})");
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  JsonWriter w(0);
+  w.begin_object().key("timeline").begin_array();
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    w.begin_object().field("rounds", i).end_object();
+  }
+  w.end_array().end_object();
+  EXPECT_EQ(w.str(), R"({"timeline":[{"rounds":0},{"rounds":1}]})");
+}
+
+TEST(Json, PrettyIndentation) {
+  JsonWriter w(2);
+  w.begin_object().field("a", std::uint64_t{1}).end_object();
+  EXPECT_EQ(w.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, EmptyContainers) {
+  JsonWriter w(2);
+  w.begin_object().key("xs").begin_array().end_array().end_object();
+  EXPECT_EQ(w.str(), "{\n  \"xs\": []\n}");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(JsonWriter::escape("a\"b"), R"("a\"b")");
+  EXPECT_EQ(JsonWriter::escape("back\\slash"), R"("back\\slash")");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), R"("line\nbreak\ttab")");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(Json, NumberFormats) {
+  JsonWriter w(0);
+  w.begin_array()
+      .value(std::int64_t{-5})
+      .value(std::uint64_t{18446744073709551615ULL})
+      .value(0.25)
+      .value(1.0)
+      .end_array();
+  EXPECT_EQ(w.str(), "[-5,18446744073709551615,0.25,1]");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w(0);
+  w.begin_array()
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, DoubleRoundTrip) {
+  JsonWriter w(0);
+  const double x = 0.1 + 0.2;  // 0.30000000000000004
+  w.value(x);
+  EXPECT_EQ(std::stod(w.str()), x);
+}
+
+TEST(Json, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(std::uint64_t{1}), std::logic_error);  // no key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("x"), std::logic_error);  // key in array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), std::logic_error);  // incomplete document
+  }
+  {
+    JsonWriter w;
+    w.begin_object().end_object();
+    EXPECT_THROW(w.begin_object(), std::logic_error);  // already complete
+  }
+}
+
+}  // namespace
+}  // namespace km

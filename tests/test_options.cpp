@@ -65,5 +65,86 @@ TEST(Options, NegativeNumbers) {
   EXPECT_DOUBLE_EQ(o.get_double("y", 0.0), -2.5);
 }
 
+// ---- Negative paths: CLI misuse must fail loudly with a clear message ----
+
+TEST(Options, DuplicateFlagThrows) {
+  try {
+    parse({"--n=1", "--n=2"});
+    FAIL() << "expected OptionsError";
+  } catch (const OptionsError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate flag --n"),
+              std::string::npos);
+  }
+}
+
+TEST(Options, DuplicateAcrossFormsThrows) {
+  EXPECT_THROW(parse({"--n", "1", "--n=2"}), OptionsError);
+}
+
+TEST(Options, EmptyFlagNameThrows) {
+  EXPECT_THROW(parse({"--=5"}), OptionsError);
+  EXPECT_THROW(parse({"--", "x"}), OptionsError);
+}
+
+TEST(Options, MalformedIntThrows) {
+  const auto o = parse({"--n=abc", "--m=12x"});
+  try {
+    o.get_int("n", 0);
+    FAIL() << "expected OptionsError";
+  } catch (const OptionsError& e) {
+    EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'abc'"), std::string::npos);
+  }
+  EXPECT_THROW(o.get_int("m", 0), OptionsError);  // trailing garbage
+}
+
+TEST(Options, MalformedUintRejectsSigns) {
+  const auto o = parse({"--k=-5", "--j=+5"});
+  EXPECT_THROW(o.get_uint("k", 0), OptionsError);
+  EXPECT_THROW(o.get_uint("j", 0), OptionsError);
+}
+
+TEST(Options, MalformedDoubleThrows) {
+  const auto o = parse({"--eps=fast"});
+  EXPECT_THROW(o.get_double("eps", 0.0), OptionsError);
+}
+
+TEST(Options, MalformedBoolThrows) {
+  const auto o = parse({"--flag=maybe"});
+  EXPECT_THROW(o.get_bool("flag", false), OptionsError);
+}
+
+TEST(Options, MissingValueThrows) {
+  // "--n --k=2": --n swallows no value (next token is a flag), so a
+  // numeric getter on it must complain rather than return the fallback.
+  const auto o = parse({"--n", "--k=2"});
+  try {
+    o.get_uint("n", 7);
+    FAIL() << "expected OptionsError";
+  } catch (const OptionsError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos);
+  }
+  EXPECT_EQ(o.get_uint("k", 0), 2u);
+}
+
+TEST(Options, RejectUnknown) {
+  const auto o = parse({"--n=1", "--typo=2"});
+  EXPECT_NO_THROW(o.reject_unknown({"n", "typo"}));
+  try {
+    o.reject_unknown({"n", "k"});
+    FAIL() << "expected OptionsError";
+  } catch (const OptionsError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown flag --typo"), std::string::npos);
+    EXPECT_NE(msg.find("--k"), std::string::npos);  // lists the accepted set
+  }
+}
+
+TEST(Options, OutOfRangeIntThrows) {
+  const auto o = parse({"--big=99999999999999999999999999"});
+  EXPECT_THROW(o.get_int("big", 0), OptionsError);
+  EXPECT_THROW(o.get_uint("big", 0), OptionsError);
+}
+
 }  // namespace
 }  // namespace km
