@@ -1,0 +1,119 @@
+// Message-plane microbenchmark: raw exchange() throughput, independent of
+// any graph algorithm.
+//
+// Three workloads stress the three costs the message plane pays per
+// superstep: (1) broadcast-heavy — every machine broadcasts the same
+// payload to all k-1 peers, so payload copying (or sharing) dominates;
+// (2) unique fan-out — every machine sends a distinct small message to
+// every peer, so per-message bookkeeping and allocator churn dominate;
+// (3) two-hop shuffle — route_via_random_intermediate, so envelope
+// (re)serialization dominates.  Throughput counters are bytes of payload
+// handed to the message plane per second, which makes before/after
+// comparisons of the plane itself meaningful.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "sim/routing.hpp"
+
+namespace {
+
+using namespace km;
+
+// Bandwidth is irrelevant to wall time (rounds are accounting, not delay);
+// something large keeps the round numbers small and readable.
+constexpr std::uint64_t kBandwidth = 1 << 20;
+constexpr std::size_t kMachines = 16;
+constexpr int kSupersteps = 16;
+
+void BM_BroadcastHeavy(benchmark::State& state) {
+  const auto payload_bytes = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::byte> blob(payload_bytes, std::byte{0x5a});
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(kMachines, {.bandwidth_bits = kBandwidth, .seed = 21});
+    metrics = engine.run([&](MachineContext& ctx) {
+      for (int step = 0; step < kSupersteps; ++step) {
+        Writer w;
+        w.put_bytes(blob);
+        ctx.broadcast(1, w);
+        const auto in = ctx.exchange();
+        if (in.size() != kMachines - 1) {
+          throw std::logic_error("bench_exchange: lost broadcast messages");
+        }
+        benchmark::DoNotOptimize(in.data());
+      }
+    });
+  }
+  // Payload bytes offered to the plane per iteration (one buffer per
+  // broadcast; the k-1 deliveries are the plane's problem).
+  state.SetBytesProcessed(state.iterations() * kSupersteps * kMachines *
+                          static_cast<std::int64_t>(payload_bytes));
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+}
+BENCHMARK(BM_BroadcastHeavy)->Arg(256)->Arg(4096)->Arg(16384)->Arg(65536)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_UniqueFanOut(benchmark::State& state) {
+  const auto payload_bytes = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::byte> blob(payload_bytes, std::byte{0x33});
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(kMachines, {.bandwidth_bits = kBandwidth, .seed = 22});
+    metrics = engine.run([&](MachineContext& ctx) {
+      for (int step = 0; step < kSupersteps; ++step) {
+        for (std::size_t dst = 0; dst < kMachines; ++dst) {
+          if (dst == ctx.id()) continue;
+          Writer w;
+          w.put_varint(static_cast<std::uint64_t>(step));
+          w.put_bytes(blob);
+          ctx.send(dst, 2, w);
+        }
+        const auto in = ctx.exchange();
+        if (in.size() != kMachines - 1) {
+          throw std::logic_error("bench_exchange: lost fan-out messages");
+        }
+        benchmark::DoNotOptimize(in.data());
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * kSupersteps * kMachines *
+                          (kMachines - 1) *
+                          static_cast<std::int64_t>(payload_bytes));
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+}
+BENCHMARK(BM_UniqueFanOut)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_TwoHopShuffle(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(kMachines, {.bandwidth_bits = kBandwidth, .seed = 23});
+    metrics = engine.run([&](MachineContext& ctx) {
+      std::vector<Message> out;
+      out.reserve(batch);
+      for (std::size_t i = 0; i < batch; ++i) {
+        Message m;
+        m.dst = static_cast<std::uint32_t>(ctx.rng().below(kMachines));
+        m.tag = 3;
+        Writer w;
+        w.put_varint(i);
+        w.put_varint(0xabcdef);
+        m.payload = w.take();
+        out.push_back(std::move(m));
+      }
+      const auto in = route_via_random_intermediate(ctx, std::move(out));
+      benchmark::DoNotOptimize(in.data());
+    });
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kMachines * batch),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TwoHopShuffle)->Arg(1024)->Arg(8192)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace
+
+KM_BENCH_MAIN("payload bytes / batch size")

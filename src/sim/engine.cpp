@@ -18,6 +18,14 @@ std::uint64_t EngineConfig::default_bandwidth(std::size_t n) noexcept {
 // MachineContext
 // ---------------------------------------------------------------------------
 
+MachineContext::MachineContext(Engine* engine, std::size_t id, Rng rng)
+    : engine_(engine), id_(id), rng_(rng) {
+  const std::size_t k = engine_->k();
+  for (auto& buckets : out_buckets_) buckets.resize(k);
+  out_bits_.assign(k, 0);
+  out_msgs_.assign(k, 0);
+}
+
 std::size_t MachineContext::k() const noexcept { return engine_->k(); }
 
 const EngineConfig& MachineContext::config() const noexcept {
@@ -25,7 +33,7 @@ const EngineConfig& MachineContext::config() const noexcept {
 }
 
 void MachineContext::send(std::size_t dst, std::uint16_t tag,
-                          std::vector<std::byte> payload) {
+                          PayloadRef payload) {
   if (dst == id_) {
     throw std::logic_error("MachineContext::send: self-addressed message");
   }
@@ -33,40 +41,44 @@ void MachineContext::send(std::size_t dst, std::uint16_t tag,
     throw std::out_of_range("MachineContext::send: bad destination");
   }
   Message msg;
+  msg.src = static_cast<std::uint32_t>(id_);
   msg.dst = static_cast<std::uint32_t>(dst);
   msg.tag = tag;
   msg.payload = std::move(payload);
-  outbox_.push_back(std::move(msg));
+  // Phase 1 of the exchange protocol: bucket by destination and cost the
+  // link now, so the barrier merge only touches counters.
+  out_bits_[dst] += msg.size_bits();
+  out_msgs_[dst] += 1;
+  out_buckets_[barriers_passed_ & 1][dst].push_back(std::move(msg));
+}
+
+void MachineContext::send(std::size_t dst, std::uint16_t tag,
+                          std::vector<std::byte> payload) {
+  send(dst, tag, PayloadRef(std::move(payload)));
 }
 
 void MachineContext::send(std::size_t dst, std::uint16_t tag, Writer& writer) {
-  send(dst, tag, writer.take());
+  send(dst, tag, PayloadRef(writer.take()));
 }
 
-void MachineContext::broadcast(std::uint16_t tag, const Writer& writer) {
-  const auto view = writer.view();
+void MachineContext::broadcast(std::uint16_t tag, Writer& writer) {
+  const PayloadRef payload(writer.take());
   for (std::size_t dst = 0; dst < k(); ++dst) {
     if (dst == id_) continue;
-    send(dst, tag, std::vector<std::byte>(view.begin(), view.end()));
+    send(dst, tag, payload);  // shares the buffer, no copy
   }
 }
 
 std::vector<Message> MachineContext::exchange() {
   if (engine_->barrier_arrive_and_wait()) {
-    // Only possible when the engine aborted (superstep budget): a normal
-    // stop requires *all* machines to have finished, and this one hasn't.
+    // Only possible when the engine aborted (superstep budget, or a
+    // failed barrier merge): a normal stop requires *all* machines to
+    // have finished, and this one hasn't.
     throw std::runtime_error("MachineContext::exchange: engine aborted");
   }
-  std::vector<Message> result;
-  if (stashed_.empty()) {
-    result = std::move(inbox_);
-  } else {
-    result = std::move(stashed_);
-    result.insert(result.end(), std::make_move_iterator(inbox_.begin()),
-                  std::make_move_iterator(inbox_.end()));
-  }
-  inbox_.clear();
+  std::vector<Message> result = std::move(stashed_);
   stashed_.clear();
+  engine_->drain_inbound(*this, result);
   return result;
 }
 
@@ -77,8 +89,8 @@ std::vector<std::uint64_t> MachineContext::all_gather(std::uint64_t value) {
   if (engine_->barrier_arrive_and_wait()) {
     throw std::runtime_error("MachineContext::all_gather: engine aborted");
   }
-  std::vector<Message> raw = std::move(inbox_);
-  inbox_.clear();
+  std::vector<Message> raw;
+  engine_->drain_inbound(*this, raw);
   std::vector<std::uint64_t> values(k(), 0);
   values[id_] = value;
   for (auto& msg : raw) {
@@ -113,7 +125,7 @@ bool MachineContext::all_reduce_or(bool value) {
 // ---------------------------------------------------------------------------
 
 Engine::Engine(std::size_t k, EngineConfig config)
-    : k_(k), config_(config), network_(k, config.bandwidth_bits) {
+    : k_(k), config_(std::move(config)), network_(k, config_.bandwidth_bits) {
   if (k_ < 1) throw std::invalid_argument("Engine: k must be >= 1");
 }
 
@@ -124,8 +136,12 @@ Metrics Engine::run(const Program& program) {
     contexts_.emplace_back(
         new MachineContext(this, i, Rng(config_.seed, i)));
   }
-  scratch_outboxes_.assign(k_, {});
-  scratch_inboxes_.assign(k_, {});
+  // Tear machine state down on *every* exit path, including the rethrow
+  // below: stale contexts must not survive into the next run.
+  struct ContextsGuard {
+    Engine& engine;
+    ~ContextsGuard() { engine.contexts_.clear(); }
+  } guard{*this};
   metrics_ = Metrics{};
   metrics_.send_bits_per_machine.assign(k_, 0);
   metrics_.recv_bits_per_machine.assign(k_, 0);
@@ -155,8 +171,12 @@ Metrics Engine::run(const Program& program) {
         // Keep participating in barriers until the engine stops, so
         // machines that finish early do not deadlock the others.  The
         // stop flag is checked *before* arriving: once it is set, no
-        // thread will enter another barrier generation.
-        while (!stopped() && !barrier_arrive_and_wait()) {
+        // thread will enter another barrier generation.  Incoming
+        // buckets still have to be walked each generation — discarded,
+        // not delivered — to keep the parity hand-off sound.
+        while (!stopped()) {
+          if (barrier_arrive_and_wait()) break;
+          discard_inbound(*contexts_[i]);
         }
       });
     }
@@ -166,7 +186,6 @@ Metrics Engine::run(const Program& program) {
       std::chrono::duration<double, std::milli>(end - start).count();
 
   if (first_error_) std::rethrow_exception(first_error_);
-  contexts_.clear();
   return metrics_;
 }
 
@@ -180,7 +199,16 @@ bool Engine::barrier_arrive_and_wait() {
   const std::uint64_t gen = generation_;
   if (++waiting_ == k_) {
     waiting_ = 0;
-    on_barrier_complete();
+    try {
+      on_barrier_complete();
+    } catch (...) {
+      // A throw out of the merge must not leave the other machines
+      // parked on the condition variable forever: record it, stop the
+      // engine, and complete the generation so everyone wakes and sees
+      // the stop flag.
+      if (!first_error_) first_error_ = std::current_exception();
+      stop_ = true;
+    }
     ++generation_;
     cv_.notify_all();
     return stop_;
@@ -190,16 +218,36 @@ bool Engine::barrier_arrive_and_wait() {
 }
 
 void Engine::on_barrier_complete() {
-  // Runs on the last arriving thread, under mutex_; all other machine
-  // threads are blocked on the condition variable, so touching their
-  // contexts is safe.
-  for (std::size_t i = 0; i < k_; ++i) {
-    scratch_outboxes_[i] = std::move(contexts_[i]->outbox_);
-    contexts_[i]->outbox_.clear();
+  // Phase 2 of the exchange protocol: runs on the last arriving thread,
+  // under mutex_; all other machine threads are blocked on the condition
+  // variable, so reading their counters is safe.  Only the pre-computed
+  // per-link counters are merged here — O(k^2) integer work.  Payloads
+  // never pass through this critical section; they move in parallel on
+  // the machine threads afterwards (drain_inbound).
+  if (config_.barrier_fault_injection) {
+    config_.barrier_fault_injection(metrics_.supersteps);
   }
-  const DeliveryStats stats = network_.deliver(
-      scratch_outboxes_, scratch_inboxes_, metrics_.send_bits_per_machine,
-      metrics_.recv_bits_per_machine);
+  DeliveryStats stats;
+  for (std::size_t src = 0; src < k_; ++src) {
+    MachineContext& from = *contexts_[src];
+    for (std::size_t dst = 0; dst < k_; ++dst) {
+      const std::uint64_t msgs = from.out_msgs_[dst];
+      if (msgs == 0) continue;
+      const std::uint64_t bits = from.out_bits_[dst];
+      stats.messages += msgs;
+      stats.bits += bits;
+      stats.max_link_bits = std::max(stats.max_link_bits, bits);
+      metrics_.send_bits_per_machine[src] += bits;
+      metrics_.recv_bits_per_machine[dst] += bits;
+      if (contexts_[dst]->finished_) metrics_.dropped_messages += msgs;
+      from.out_bits_[dst] = 0;
+      from.out_msgs_[dst] = 0;
+    }
+  }
+  if (stats.messages > 0) {
+    stats.any = true;
+    stats.rounds = network_.rounds_for(stats.max_link_bits);
+  }
   // The final barrier generation where every machine has already finished
   // (the drain pass) is bookkeeping, not a superstep of the algorithm.
   if (!(finished_count_ == k_ && !stats.any)) {
@@ -217,18 +265,6 @@ void Engine::on_barrier_complete() {
   metrics_.bits += stats.bits;
   metrics_.max_link_bits_superstep =
       std::max(metrics_.max_link_bits_superstep, stats.max_link_bits);
-  for (std::size_t dst = 0; dst < k_; ++dst) {
-    auto& delivered = scratch_inboxes_[dst];
-    if (contexts_[dst]->finished_) {
-      metrics_.dropped_messages += delivered.size();
-      delivered.clear();
-      continue;
-    }
-    auto& inbox = contexts_[dst]->inbox_;
-    inbox.insert(inbox.end(), std::make_move_iterator(delivered.begin()),
-                 std::make_move_iterator(delivered.end()));
-    delivered.clear();
-  }
   if (finished_count_ == k_) stop_ = true;
   if (metrics_.supersteps > config_.max_supersteps && !first_error_) {
     first_error_ = std::make_exception_ptr(std::runtime_error(
@@ -237,12 +273,41 @@ void Engine::on_barrier_complete() {
   }
 }
 
+void Engine::drain_inbound(MachineContext& ctx, std::vector<Message>& into) {
+  // Runs on ctx's own thread with no lock held.  Safe: the sources wrote
+  // these buckets before arriving at the barrier we just left (the
+  // barrier mutex publishes them), and their next sends go to the
+  // opposite parity.
+  const std::size_t parity = ctx.barriers_passed_ & 1;
+  ++ctx.barriers_passed_;
+  std::size_t total = into.size();
+  for (std::size_t src = 0; src < k_; ++src) {
+    total += contexts_[src]->out_buckets_[parity][ctx.id_].size();
+  }
+  into.reserve(total);
+  for (std::size_t src = 0; src < k_; ++src) {
+    auto& bucket = contexts_[src]->out_buckets_[parity][ctx.id_];
+    into.insert(into.end(), std::make_move_iterator(bucket.begin()),
+                std::make_move_iterator(bucket.end()));
+    bucket.clear();  // keeps capacity: message-slot pool across supersteps
+  }
+}
+
+void Engine::discard_inbound(MachineContext& ctx) {
+  const std::size_t parity = ctx.barriers_passed_ & 1;
+  ++ctx.barriers_passed_;
+  for (std::size_t src = 0; src < k_; ++src) {
+    contexts_[src]->out_buckets_[parity][ctx.id_].clear();
+  }
+}
+
 std::string Metrics::summary() const {
   std::ostringstream os;
   os << "rounds=" << rounds << " supersteps=" << supersteps
      << " messages=" << messages << " bits=" << bits
      << " max_link_bits=" << max_link_bits_superstep
-     << " max_recv_bits=" << max_recv_bits() << " wall_ms=" << wall_ms;
+     << " max_recv_bits=" << max_recv_bits()
+     << " dropped=" << dropped_messages << " wall_ms=" << wall_ms;
   return os.str();
 }
 

@@ -4,22 +4,43 @@
 // the same `program` (SPMD, like an MPI rank program).  A machine
 // communicates by buffering messages with ctx.send() and calling
 // ctx.exchange(), which is a synchronization point for *all* machines: the
-// engine collects every outbox, charges rounds per the bandwidth model
-// (see sim/network.hpp) and returns each machine the messages addressed to
-// it.  Local computation between exchanges is free, as in the paper.
+// engine charges rounds per the bandwidth model (see sim/network.hpp) and
+// returns each machine the messages addressed to it.  Local computation
+// between exchanges is free, as in the paper.
+//
+// Message plane (two-phase exchange protocol):
+//  - Phase 1 (pre-bucket, outside any lock): send() buckets each message
+//    into a per-destination queue owned by the sending machine and
+//    accumulates that link's bit/message counters on the fly, so by the
+//    time a machine arrives at the barrier its outbound traffic is fully
+//    bucketed and costed.  broadcast() shares one immutable PayloadRef
+//    across all k-1 messages instead of deep-copying the payload.
+//  - Phase 2 (merge, under the barrier lock): the last machine to arrive
+//    only merges the k*k pre-computed per-link counters into DeliveryStats
+//    (rounds = ceil(max link bits / B)) and flips the bucket parity —
+//    O(k^2) integer work, never O(messages) payload traffic.
+//  - Delivery (lock-free, after the barrier): each machine drains the
+//    buckets addressed to it from all k sources in ascending source
+//    order, in parallel with every other machine, without taking the
+//    engine lock.  Buckets are double-buffered by barrier parity so the
+//    drain of superstep s never races the sends of superstep s+1; the
+//    barrier's mutex hand-off provides the happens-before edges (tsan
+//    verified by the CI tsan job).
 //
 // Conventions:
 //  - All machines must call exchange() in lockstep (same count, same
 //    order).  Data-dependent loop bounds must be agreed on through the
 //    provided collectives, which cost rounds through the same accounting.
-//  - Determinism: machine i's RNG is seeded from (config.seed, i), and a
-//    machine's code runs sequentially between barriers, so results do not
-//    depend on thread scheduling.
+//  - Determinism: machine i's RNG is seeded from (config.seed, i), a
+//    machine's code runs sequentially between barriers, and delivery
+//    order is ascending source then send order, so results do not depend
+//    on thread scheduling.
 //  - A machine that returns from `program` keeps participating in barriers
 //    invisibly until all machines finish; messages sent to a finished
 //    machine are counted as dropped (tests assert this never happens).
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -43,6 +64,10 @@ struct EngineConfig {
   std::uint64_t max_supersteps = 1'000'000;  ///< runaway-loop backstop
   /// Record a per-superstep SuperstepStats timeline in Metrics::timeline.
   bool record_timeline = false;
+  /// Test-only fault injection: invoked (under the engine lock) at the
+  /// start of every barrier merge.  A throw from here must abort the run
+  /// cleanly — captured as the run's first error, never a deadlock.
+  std::function<void(std::uint64_t superstep)> barrier_fault_injection = {};
 
   /// Bandwidth used throughout the paper: B = Theta(polylog n).
   /// We use B = 16 * ceil(log2 n)^2 bits (a handful of O(log n)-bit
@@ -61,14 +86,17 @@ class MachineContext {
   const EngineConfig& config() const noexcept;
 
   /// Buffer a message for the next exchange. dst != id().
+  void send(std::size_t dst, std::uint16_t tag, PayloadRef payload);
   void send(std::size_t dst, std::uint16_t tag, std::vector<std::byte> payload);
   void send(std::size_t dst, std::uint16_t tag, Writer& writer);
 
-  /// Buffer the same payload to every other machine (k-1 messages).
-  void broadcast(std::uint16_t tag, const Writer& writer);
+  /// Buffer the same payload to every other machine (k-1 messages sharing
+  /// one immutable buffer — zero-copy).  Consumes the writer's contents.
+  void broadcast(std::uint16_t tag, Writer& writer);
 
   /// Superstep boundary: flush sends, synchronize with all machines,
-  /// return the messages delivered to this machine.
+  /// return the messages delivered to this machine (ascending source,
+  /// then send order; stashed collective leftovers first).
   std::vector<Message> exchange();
 
   // ---- Collectives (each costs one superstep; built on exchange) ----
@@ -79,14 +107,22 @@ class MachineContext {
 
  private:
   friend class Engine;
-  MachineContext(Engine* engine, std::size_t id, Rng rng)
-      : engine_(engine), id_(id), rng_(rng) {}
+  MachineContext(Engine* engine, std::size_t id, Rng rng);
 
   Engine* engine_;
   std::size_t id_;
   Rng rng_;
-  std::vector<Message> outbox_;
-  std::vector<Message> inbox_;    // filled by the engine at the barrier
+
+  // Pre-bucketed outbound traffic (phase 1 of the exchange protocol).
+  // Double-buffered by barrier parity: sends of superstep s fill parity
+  // s&1 while receivers drain parity (s-1)&1 from the previous barrier.
+  // Bucket vectors keep their capacity across supersteps (message-slot
+  // pooling).
+  std::array<std::vector<std::vector<Message>>, 2> out_buckets_;
+  std::vector<std::uint64_t> out_bits_;   ///< per-destination bit totals
+  std::vector<std::uint64_t> out_msgs_;   ///< per-destination msg counts
+  std::uint64_t barriers_passed_ = 0;     ///< drives the bucket parity
+
   std::vector<Message> stashed_;  // non-collective msgs seen by collectives
   bool finished_ = false;
 };
@@ -101,25 +137,33 @@ class Engine {
   const EngineConfig& config() const noexcept { return config_; }
 
   /// Runs the SPMD program on k machine threads; blocks until all finish.
-  /// Rethrows the first exception any machine threw.
+  /// Rethrows the first exception any machine threw.  Machine state is
+  /// torn down on every exit path (RAII), so a failed run never leaks
+  /// stale contexts into the next one.
   Metrics run(const Program& program);
 
  private:
   friend class MachineContext;
 
   /// Returns true when the engine has stopped (all machines finished, or
-  /// the superstep budget was exhausted).
+  /// the superstep budget was exhausted, or a barrier merge failed).
   bool barrier_arrive_and_wait();
   bool stopped() const;
   void on_barrier_complete();  // runs once per superstep, under the lock
+
+  /// Lock-free delivery (phase 3): moves every message addressed to `ctx`
+  /// from the sources' parity buckets into `into`, ascending source
+  /// order.  Advances the context's bucket parity.
+  void drain_inbound(MachineContext& ctx, std::vector<Message>& into);
+  /// Same bucket walk for a finished machine: discards instead of
+  /// delivering (the merge step already counted these as dropped).
+  void discard_inbound(MachineContext& ctx);
 
   std::size_t k_;
   EngineConfig config_;
   Network network_;
 
   std::vector<std::unique_ptr<MachineContext>> contexts_;
-  std::vector<std::vector<Message>> scratch_outboxes_;
-  std::vector<std::vector<Message>> scratch_inboxes_;
 
   // Cyclic barrier state.
   mutable std::mutex mutex_;

@@ -1,0 +1,71 @@
+#include "sim/message.hpp"
+
+#include "util/buffer_pool.hpp"
+
+namespace km {
+namespace detail {
+
+namespace {
+
+constexpr std::size_t kMaxPooledBufs = 1024;  // ~56 B each: tiny to hoard
+
+struct BufPool {
+  BufPool() { free_list.reserve(kMaxPooledBufs); }
+  ~BufPool() {
+    destroyed = true;
+    for (PayloadBuf* buf : free_list) delete buf;
+  }
+  std::vector<PayloadBuf*> free_list;
+  bool destroyed = false;
+};
+
+BufPool& local_buf_pool() noexcept {
+  thread_local BufPool pool;
+  return pool;
+}
+
+}  // namespace
+
+PayloadBuf* acquire_payload_buf() {
+  auto& pool = local_buf_pool();
+  if (pool.destroyed || pool.free_list.empty()) return new PayloadBuf;
+  PayloadBuf* buf = pool.free_list.back();
+  pool.free_list.pop_back();
+  buf->refs.store(1, std::memory_order_relaxed);
+  return buf;
+}
+
+void recycle_payload_buf(PayloadBuf* buf) noexcept {
+  // The byte storage rotates back to the Writer/payload byte pool so the
+  // capacity is reused even when this PayloadBuf is not.  If the byte
+  // pool declines (over its caps), the assignment below frees it — a
+  // pooled PayloadBuf never hoards storage of its own.
+  recycle_buffer(std::move(buf->bytes));
+  buf->bytes = std::vector<std::byte>{};
+  auto& pool = local_buf_pool();
+  if (pool.destroyed || pool.free_list.size() >= kMaxPooledBufs) {
+    delete buf;
+    return;
+  }
+  pool.free_list.push_back(buf);  // never reallocates: reserved above
+}
+
+}  // namespace detail
+
+PayloadRef::PayloadRef(std::vector<std::byte> bytes) {
+  if (bytes.empty()) {
+    recycle_buffer(std::move(bytes));
+    return;  // empty payload needs no owner; view_ stays empty
+  }
+  buf_ = detail::acquire_payload_buf();
+  buf_->bytes = std::move(bytes);
+  view_ = buf_->bytes;
+}
+
+PayloadRef PayloadRef::copy_of(std::span<const std::byte> bytes) {
+  std::vector<std::byte> buf = acquire_buffer();
+  buf.assign(bytes.begin(), bytes.end());
+  return PayloadRef(std::move(buf));
+}
+
+}  // namespace km

@@ -4,22 +4,140 @@
 // message its serialized payload size plus a small fixed header (the tag).
 // Payloads are produced with util/serialize.hpp so that counts and IDs are
 // varint-encoded, keeping messages at the O(log n) bits the paper assumes.
+//
+// Payloads are immutable and reference-counted (PayloadRef): a broadcast
+// to k-1 machines shares one buffer instead of making k-1 deep copies,
+// and two-hop routing forwards the original envelope bytes without
+// re-serializing.  Immutability is what makes the sharing safe — no
+// receiver can observe another receiver's mutations, because there are
+// none.  The refcount is intrusive and the buffer object itself recycles
+// through a thread-local pool (alongside the byte storage, which rotates
+// through util/buffer_pool.hpp), so steady-state message creation does
+// not touch the allocator at all.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace km {
+
+namespace detail {
+
+/// Intrusively refcounted payload buffer.  Created/recycled only through
+/// the functions below (thread-local free list in message.cpp).
+struct PayloadBuf {
+  std::atomic<std::size_t> refs{1};
+  std::vector<std::byte> bytes;
+};
+
+/// Pops a recycled PayloadBuf (refs == 1, bytes empty) or allocates one.
+PayloadBuf* acquire_payload_buf();
+/// Returns a dead buffer (refs reached 0) to the pool; its byte storage
+/// rotates back into the util buffer pool.
+void recycle_payload_buf(PayloadBuf* buf) noexcept;
+
+}  // namespace detail
+
+/// Shared, immutable byte buffer (payload of a Message).  Cheap to copy:
+/// copies share the underlying storage and bump an atomic refcount.  A
+/// PayloadRef can view a suffix of another's buffer (see suffix()), which
+/// routing uses to peel envelope headers without copying the inner
+/// payload.
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+
+  /// Takes ownership of `bytes` (typically Writer::take()).  Implicit so
+  /// `msg.payload = writer.take()` keeps working.
+  PayloadRef(std::vector<std::byte> bytes);  // NOLINT(google-explicit-*)
+
+  PayloadRef(const PayloadRef& other) noexcept
+      : buf_(other.buf_), view_(other.view_) {
+    if (buf_) buf_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  PayloadRef(PayloadRef&& other) noexcept
+      : buf_(std::exchange(other.buf_, nullptr)),
+        view_(std::exchange(other.view_, {})) {}
+  PayloadRef& operator=(const PayloadRef& other) noexcept {
+    PayloadRef tmp(other);
+    swap(tmp);
+    return *this;
+  }
+  PayloadRef& operator=(PayloadRef&& other) noexcept {
+    PayloadRef tmp(std::move(other));
+    swap(tmp);
+    return *this;
+  }
+  ~PayloadRef() { release(); }
+
+  void swap(PayloadRef& other) noexcept {
+    std::swap(buf_, other.buf_);
+    std::swap(view_, other.view_);
+  }
+
+  /// Deep-copies `bytes` into a fresh buffer.
+  static PayloadRef copy_of(std::span<const std::byte> bytes);
+
+  std::span<const std::byte> view() const noexcept { return view_; }
+  operator std::span<const std::byte>() const noexcept { return view_; }
+
+  const std::byte* data() const noexcept { return view_.data(); }
+  std::size_t size() const noexcept { return view_.size(); }
+  bool empty() const noexcept { return view_.empty(); }
+  auto begin() const noexcept { return view_.begin(); }
+  auto end() const noexcept { return view_.end(); }
+
+  /// Zero-copy sub-view starting at `offset`, sharing this buffer's
+  /// ownership.  offset is clamped to size().
+  PayloadRef suffix(std::size_t offset) const noexcept {
+    PayloadRef out(*this);  // bumps the refcount
+    out.remove_prefix(offset);
+    return out;
+  }
+
+  /// Narrows this ref's view in place (no refcount traffic) — the
+  /// move-friendly flavor of suffix().  offset is clamped to size().
+  void remove_prefix(std::size_t offset) noexcept {
+    view_ = view_.subspan(std::min(offset, view_.size()));
+  }
+
+  /// True when both refs share the same underlying buffer (zero-copy
+  /// sharing, as opposed to equal contents).
+  bool shares_buffer_with(const PayloadRef& other) const noexcept {
+    return buf_ != nullptr && buf_ == other.buf_;
+  }
+
+ private:
+  void release() noexcept {
+    if (buf_) {
+      // Sole-owner fast path: holding a reference and observing refs == 1
+      // means no other owner exists (new owners only spring from existing
+      // refs, i.e. this one, on this thread) — skip the atomic RMW.
+      if (buf_->refs.load(std::memory_order_acquire) == 1 ||
+          buf_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        detail::recycle_payload_buf(buf_);
+      }
+    }
+    buf_ = nullptr;
+    view_ = {};
+  }
+
+  detail::PayloadBuf* buf_ = nullptr;
+  std::span<const std::byte> view_;
+};
 
 struct Message {
   /// Fixed per-message framing cost (tag), charged against bandwidth.
   static constexpr std::size_t kHeaderBits = 16;
 
-  std::uint32_t src = 0;  ///< filled in by the engine on submit
+  std::uint32_t src = 0;  ///< stamped by the message plane on submit
   std::uint32_t dst = 0;
   std::uint16_t tag = 0;
-  std::vector<std::byte> payload;
+  PayloadRef payload;
 
   std::size_t size_bits() const noexcept {
     return kHeaderBits + payload.size() * 8;

@@ -49,8 +49,7 @@ DeliveryStats Network::deliver(std::vector<std::vector<Message>>& outboxes,
   touched_links_.clear();
   if (stats.messages > 0) {
     stats.any = true;
-    stats.rounds = std::max<std::uint64_t>(
-        1, ceil_div(stats.max_link_bits, bandwidth_));
+    stats.rounds = rounds_for(stats.max_link_bits);
   }
   return stats;
 }

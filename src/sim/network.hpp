@@ -2,10 +2,18 @@
 //
 // Section 1.1: k machines are pairwise interconnected; each link delivers
 // at most B bits per round.  A superstep's traffic therefore takes
-// max over ordered links (i,j) of ceil(bits_ij / B) rounds.  deliver()
-// moves messages from per-source outboxes to per-destination inboxes
-// (deterministic order: ascending source, then send order) and returns the
-// round charge.
+// max over ordered links (i,j) of ceil(bits_ij / B) rounds.
+//
+// Two entry points share the same cost model:
+//  - deliver() physically moves messages from per-source outboxes to
+//    per-destination inboxes (deterministic order: ascending source, then
+//    send order) and returns the round charge.  Used by tests and by
+//    callers that hold materialized outboxes.
+//  - rounds_for() is the bare round formula.  The engine's two-phase
+//    exchange pre-buckets messages on the machine threads and merges only
+//    per-link counters at the barrier, so payloads never funnel through
+//    the network object; it charges rounds via rounds_for() on the merged
+//    max-link load (byte-identical accounting to deliver()).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +21,7 @@
 #include <vector>
 
 #include "sim/message.hpp"
+#include "util/mathx.hpp"
 
 namespace km {
 
@@ -31,6 +40,14 @@ class Network {
 
   std::size_t k() const noexcept { return k_; }
   std::uint64_t bandwidth_bits() const noexcept { return bandwidth_; }
+
+  /// Round charge for a superstep whose most loaded link carried
+  /// `max_link_bits`: ceil(max_link_bits / B), at least 1 when any
+  /// traffic moved.  Callers pass max_link_bits > 0 only when there was
+  /// traffic; for an empty superstep charge 0 rounds (do not call this).
+  std::uint64_t rounds_for(std::uint64_t max_link_bits) const noexcept {
+    return std::max<std::uint64_t>(1, ceil_div(max_link_bits, bandwidth_));
+  }
 
   /// Moves all messages from outboxes (indexed by source) into inboxes
   /// (indexed by destination) and computes the round charge.

@@ -4,11 +4,43 @@
 
 namespace km {
 
+namespace {
+
+// Envelope layout: varint(final dst), varint(tag), varint(origin src),
+// then the original payload bytes.  The origin travels in the envelope so
+// that a relayed message still reports its true sender after hop 2.
+PayloadRef make_envelope(std::uint32_t dst, std::uint16_t tag,
+                         std::uint32_t origin,
+                         std::span<const std::byte> payload) {
+  Writer w;
+  w.put_varint(dst);
+  w.put_varint(tag);
+  w.put_varint(origin);
+  w.put_bytes(payload);
+  return PayloadRef(w.take());
+}
+
+Message decode_envelope(Message&& env) {
+  Reader r(env.payload);
+  Message out;
+  out.dst = static_cast<std::uint32_t>(r.get_varint());
+  out.tag = static_cast<std::uint16_t>(r.get_varint());
+  out.src = static_cast<std::uint32_t>(r.get_varint());
+  // Zero-copy: the delivered payload is a suffix view of the envelope
+  // buffer, stealing its ownership outright (no refcount traffic).
+  out.payload = std::move(env.payload);
+  out.payload.remove_prefix(out.payload.size() - r.remaining());
+  return out;
+}
+
+}  // namespace
+
 std::vector<Message> route_direct(MachineContext& ctx,
                                   std::vector<Message> msgs) {
   std::vector<Message> local;
   for (auto& m : msgs) {
     if (m.dst == ctx.id()) {
+      m.src = static_cast<std::uint32_t>(ctx.id());
       local.push_back(std::move(m));  // free: never touches the network
     } else {
       ctx.send(m.dst, m.tag, std::move(m.payload));
@@ -23,77 +55,53 @@ std::vector<Message> route_direct(MachineContext& ctx,
 std::vector<Message> route_via_random_intermediate(MachineContext& ctx,
                                                    std::vector<Message> msgs) {
   const std::size_t k = ctx.k();
+  const auto self = static_cast<std::uint32_t>(ctx.id());
   // Hop 1: wrap each message in an envelope and send to a random machine.
   // A message whose random intermediate equals the final destination (or
   // ourselves) is forwarded directly/held locally to save a pointless hop.
   std::vector<Message> hold;  // intermediate == self, or destination == self
   for (auto& m : msgs) {
     if (m.dst == ctx.id()) {
+      m.src = self;
       hold.push_back(std::move(m));
       continue;
     }
     const std::size_t via = ctx.rng().below(k);
-    if (via == m.dst) {  // lands at destination in one hop anyway
-      ctx.send(m.dst, kRouteEnvelopeTag, [&] {
-        Writer w;
-        w.put_varint(m.dst);
-        w.put_varint(m.tag);
-        w.put_bytes(m.payload);
-        return w.take();
-      }());
-      continue;
-    }
     if (via == ctx.id()) {
+      m.src = self;
       hold.push_back(std::move(m));
       continue;
     }
-    Writer w;
-    w.put_varint(m.dst);
-    w.put_varint(m.tag);
-    w.put_bytes(m.payload);
-    ctx.send(via, kRouteEnvelopeTag, w.take());
+    // via == m.dst lands at the destination in one hop anyway; either way
+    // the first network hop carries the same envelope.
+    ctx.send(via, kRouteEnvelopeTag,
+             make_envelope(m.dst, m.tag, self, m.payload));
   }
 
-  auto decode = [](const Message& env) {
-    Reader r(env.payload);
-    Message out;
-    out.dst = static_cast<std::uint32_t>(r.get_varint());
-    out.tag = static_cast<std::uint16_t>(r.get_varint());
-    out.payload.assign(env.payload.begin() +
-                           static_cast<std::ptrdiff_t>(env.payload.size() -
-                                                       r.remaining()),
-                       env.payload.end());
-    return out;
-  };
-
   // Hop 2: forward everything that stopped here; keep what is for us.
+  // Forwarding reuses the original envelope bytes (a shared PayloadRef) —
+  // no re-serialization on the relay, and only the leading dst varint is
+  // decoded to route it.
   std::vector<Message> result;
   for (auto& env : ctx.exchange()) {
-    Message m = decode(env);
-    m.src = env.src;  // not meaningful after relay; kept for debugging
-    if (m.dst == ctx.id()) {
-      result.push_back(std::move(m));
+    Reader peek(env.payload);
+    const auto dst = static_cast<std::uint32_t>(peek.get_varint());
+    if (dst == ctx.id()) {
+      result.push_back(decode_envelope(std::move(env)));
     } else {
-      Writer w;
-      w.put_varint(m.dst);
-      w.put_varint(m.tag);
-      w.put_bytes(m.payload);
-      ctx.send(m.dst, kRouteEnvelopeTag, w.take());
+      ctx.send(dst, kRouteEnvelopeTag, std::move(env.payload));
     }
   }
   for (auto& m : hold) {
     if (m.dst == ctx.id()) {
       result.push_back(std::move(m));
     } else {
-      Writer w;
-      w.put_varint(m.dst);
-      w.put_varint(m.tag);
-      w.put_bytes(m.payload);
-      ctx.send(m.dst, kRouteEnvelopeTag, w.take());
+      ctx.send(m.dst, kRouteEnvelopeTag,
+               make_envelope(m.dst, m.tag, self, m.payload));
     }
   }
   for (auto& env : ctx.exchange()) {
-    result.push_back(decode(env));
+    result.push_back(decode_envelope(std::move(env)));
   }
   return result;
 }

@@ -25,8 +25,11 @@ std::vector<Message> route_direct(MachineContext& ctx,
                                   std::vector<Message> msgs);
 
 /// Two supersteps: each message travels via a uniformly random
-/// intermediate machine.  The envelope (final destination + original tag)
-/// is charged against bandwidth like any other payload bytes.
+/// intermediate machine.  The envelope (final destination + original tag
+/// + original source) is charged against bandwidth like any other payload
+/// bytes.  Delivered messages report the *original* sender in src, not
+/// the relay; the relay forwards the hop-1 envelope bytes verbatim (a
+/// shared PayloadRef), so nothing is re-serialized on hop 2.
 std::vector<Message> route_via_random_intermediate(MachineContext& ctx,
                                                    std::vector<Message> msgs);
 

@@ -1,0 +1,51 @@
+#include "util/buffer_pool.hpp"
+
+#include <utility>
+
+namespace km {
+
+namespace {
+
+constexpr std::size_t kMaxPooledBuffers = 256;
+constexpr std::size_t kMaxBufferCapacity = std::size_t{1} << 20;   // 1 MiB
+constexpr std::size_t kMaxPooledBytes = std::size_t{8} << 20;      // 8 MiB
+
+struct Pool {
+  Pool() { buffers.reserve(kMaxPooledBuffers); }
+  ~Pool() { destroyed = true; }
+  std::vector<std::vector<std::byte>> buffers;
+  std::size_t pooled_bytes = 0;  // sum of capacities held
+  bool destroyed = false;        // guards late releases at thread exit
+};
+
+Pool& local_pool() noexcept {
+  thread_local Pool pool;
+  return pool;
+}
+
+}  // namespace
+
+std::vector<std::byte> acquire_buffer() noexcept {
+  Pool& pool = local_pool();
+  if (pool.destroyed || pool.buffers.empty()) return {};
+  std::vector<std::byte> buf = std::move(pool.buffers.back());
+  pool.buffers.pop_back();
+  pool.pooled_bytes -= buf.capacity();
+  return buf;
+}
+
+void recycle_buffer(std::vector<std::byte>&& buf) noexcept {
+  Pool& pool = local_pool();
+  if (pool.destroyed || buf.capacity() == 0 ||
+      buf.capacity() > kMaxBufferCapacity ||
+      pool.buffers.size() >= kMaxPooledBuffers ||
+      pool.pooled_bytes + buf.capacity() > kMaxPooledBytes) {
+    return;  // not adopted: the caller's vector frees the storage
+  }
+  buf.clear();
+  pool.pooled_bytes += buf.capacity();
+  // Never reallocates: the vector was reserved to kMaxPooledBuffers.
+  pool.buffers.push_back(std::move(buf));
+}
+
+}  // namespace km

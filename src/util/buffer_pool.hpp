@@ -1,0 +1,25 @@
+// Thread-local recycling of byte buffers.
+//
+// The message plane allocates one byte buffer per serialized payload and
+// frees it when the last PayloadRef drops; at millions of messages per
+// second that allocator churn dominates.  acquire_buffer()/recycle_buffer()
+// keep a small per-thread free list of vectors so payload and Writer
+// storage is reused across supersteps.  Buffers recycle into the pool of
+// whichever thread releases them (typically the receiver), which matches
+// the SPMD engine where every machine both sends and receives.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace km {
+
+/// Pops a recycled buffer (empty, capacity preserved) from the calling
+/// thread's pool, or returns a fresh empty vector when the pool is dry.
+std::vector<std::byte> acquire_buffer() noexcept;
+
+/// Returns storage to the calling thread's pool.  Oversized buffers and
+/// overflow beyond the pool cap are simply freed.
+void recycle_buffer(std::vector<std::byte>&& buf) noexcept;
+
+}  // namespace km

@@ -3,7 +3,13 @@
 #include <bit>
 #include <cstring>
 
+#include "util/buffer_pool.hpp"
+
 namespace km {
+
+Writer::Writer() : buf_(acquire_buffer()) {}
+
+Writer::~Writer() { recycle_buffer(std::move(buf_)); }
 
 namespace {
 template <typename T>
@@ -44,7 +50,7 @@ void Writer::put_bytes(std::span<const std::byte> bytes) {
 }
 
 std::vector<std::byte> Writer::take() noexcept {
-  std::vector<std::byte> out;
+  std::vector<std::byte> out = acquire_buffer();
   out.swap(buf_);
   return out;
 }

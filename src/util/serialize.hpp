@@ -23,10 +23,18 @@ class SerializeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Append-only byte buffer with varint and fixed-width encoders.
+/// Append-only byte buffer with varint and fixed-width encoders.  The
+/// backing storage comes from the thread-local buffer pool
+/// (util/buffer_pool.hpp) and returns there on destruction, so hot loops
+/// that create a Writer per message do not hit the allocator.
 class Writer {
  public:
-  Writer() = default;
+  Writer();
+  ~Writer();
+  Writer(const Writer&) = default;
+  Writer& operator=(const Writer&) = default;
+  Writer(Writer&&) noexcept = default;
+  Writer& operator=(Writer&&) noexcept = default;
 
   void put_u8(std::uint8_t v);
   void put_u16(std::uint16_t v);

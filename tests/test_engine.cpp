@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 
 namespace km {
@@ -206,6 +207,89 @@ TEST(Engine, ExceptionInMachinePropagates) {
                  ctx.exchange();
                }),
                std::runtime_error);
+}
+
+TEST(Engine, BarrierMergeFailureDoesNotDeadlock) {
+  // A throw out of the barrier merge (e.g. a failing delivery) must be
+  // captured and abort the run: every parked machine thread wakes, sees
+  // the stop flag, and the error propagates out of run() — no deadlock.
+  EngineConfig cfg{.bandwidth_bits = 1024, .seed = 1};
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  cfg.barrier_fault_injection = [fired](std::uint64_t superstep) {
+    if (superstep == 1 && !fired->exchange(true)) {
+      throw std::runtime_error("injected delivery failure");
+    }
+  };
+  Engine engine(4, cfg);
+  try {
+    engine.run([&](MachineContext& ctx) {
+      for (int step = 0; step < 5; ++step) {
+        Writer w;
+        w.put_varint(static_cast<std::uint64_t>(step));
+        ctx.send((ctx.id() + 1) % 4, 1, w);
+        ctx.exchange();
+      }
+    });
+    FAIL() << "expected the injected failure to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "injected delivery failure");
+  }
+  // The engine must be reusable after the failed run (contexts torn down
+  // by RAII, barrier state reset).
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    EXPECT_EQ(ctx.all_reduce_sum(1), 4u);
+  });
+  EXPECT_EQ(metrics.supersteps, 1u);
+}
+
+TEST(Engine, BarrierMergeFailureOnFirstSuperstep) {
+  EngineConfig cfg{.bandwidth_bits = 1024, .seed = 1};
+  cfg.barrier_fault_injection = [](std::uint64_t) {
+    throw std::logic_error("boom at merge");
+  };
+  Engine engine(3, cfg);
+  EXPECT_THROW(
+      engine.run([&](MachineContext& ctx) { ctx.exchange(); }),
+      std::logic_error);
+}
+
+TEST(Engine, SummaryIncludesDroppedMessages) {
+  Engine engine(2, {.bandwidth_bits = 1024, .seed = 1});
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    if (ctx.id() == 0) return;
+    ctx.exchange();  // let machine 0 finish first
+    Writer w;
+    w.put_varint(1);
+    ctx.send(0, 1, w);
+    ctx.exchange();
+  });
+  EXPECT_EQ(metrics.dropped_messages, 1u);
+  EXPECT_NE(metrics.summary().find("dropped=1"), std::string::npos)
+      << metrics.summary();
+}
+
+TEST(Engine, BroadcastPayloadIsSharedNotCopied) {
+  // The zero-copy contract: one broadcast produces one buffer, observed
+  // by every receiver at the same address.
+  constexpr std::size_t kMachines = 4;
+  Engine engine(kMachines, {.bandwidth_bits = 1 << 12, .seed = 1});
+  std::vector<const std::byte*> addr(kMachines, nullptr);
+  std::vector<PayloadRef> keep(kMachines);  // keep buffers alive to compare
+  engine.run([&](MachineContext& ctx) {
+    Writer w;
+    w.put_u64(0xfeedface);
+    ctx.broadcast(1, w);
+    for (auto& msg : ctx.exchange()) {
+      if (msg.src == 0) {
+        addr[ctx.id()] = msg.payload.data();
+        keep[ctx.id()] = msg.payload;
+      }
+    }
+  });
+  for (std::size_t id = 2; id < kMachines; ++id) {
+    EXPECT_EQ(addr[id], addr[1]);
+    EXPECT_TRUE(keep[id].shares_buffer_with(keep[1]));
+  }
 }
 
 TEST(Engine, SuperstepBudgetAborts) {

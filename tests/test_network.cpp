@@ -13,7 +13,7 @@ Message make_msg(std::uint32_t dst, std::size_t payload_bytes,
   Message m;
   m.dst = dst;
   m.tag = tag;
-  m.payload.assign(payload_bytes, std::byte{0});
+  m.payload = std::vector<std::byte>(payload_bytes, std::byte{0});
   return m;
 }
 

@@ -88,6 +88,46 @@ TEST(Routing, TwoHopPreservesTagAndPayload) {
   EXPECT_EQ(checked.load(), 1);
 }
 
+TEST(Routing, TwoHopPreservesTrueSource) {
+  // Regression: the relay used to stamp its own id into src on hop 2
+  // (and the final decode left src = 0).  The envelope now carries the
+  // origin, so every delivered message must report its true sender —
+  // across all three internal paths (via == dst, via == self, genuine
+  // two-hop).  Encoding the sender in the payload gives the ground truth.
+  constexpr std::size_t kMachines = 8;
+  constexpr std::uint64_t kPerPair = 8;
+  Engine engine(kMachines, {.bandwidth_bits = 1 << 16, .seed = 31});
+  std::atomic<std::uint64_t> delivered{0};
+  engine.run([&](MachineContext& ctx) {
+    std::vector<Message> out;
+    for (std::size_t dst = 0; dst < kMachines; ++dst) {
+      for (std::uint64_t i = 0; i < kPerPair; ++i) {
+        out.push_back(make_msg(static_cast<std::uint32_t>(dst),
+                               ctx.id() * 1000 + dst));
+      }
+    }
+    for (const auto& m : route_via_random_intermediate(ctx, std::move(out))) {
+      const std::uint64_t true_src = value_of(m) / 1000;
+      const std::uint64_t true_dst = value_of(m) % 1000;
+      EXPECT_EQ(m.src, true_src) << "relay id leaked into src";
+      EXPECT_EQ(true_dst, ctx.id()) << "message delivered to wrong machine";
+      ++delivered;
+    }
+  });
+  EXPECT_EQ(delivered.load(), kMachines * kMachines * kPerPair);
+}
+
+TEST(Routing, DirectPreservesSourceOnLocalMessages) {
+  Engine engine(3, {.bandwidth_bits = 1 << 12, .seed = 32});
+  engine.run([&](MachineContext& ctx) {
+    std::vector<Message> out;
+    out.push_back(make_msg(static_cast<std::uint32_t>(ctx.id()), 1));
+    const auto in = route_direct(ctx, std::move(out));
+    ASSERT_EQ(in.size(), 1u);
+    EXPECT_EQ(in[0].src, ctx.id());
+  });
+}
+
 TEST(Routing, TwoHopSmoothsSkewedDestinations) {
   // All messages from machine 0 target machine 1.  Direct routing puts
   // them on one link; two-hop spreads each hop over k links, so the
