@@ -1,15 +1,17 @@
 // Message-plane microbenchmark: raw exchange() throughput, independent of
 // any graph algorithm.
 //
-// Three workloads stress the three costs the message plane pays per
-// superstep: (1) broadcast-heavy — every machine broadcasts the same
-// payload to all k-1 peers, so payload copying (or sharing) dominates;
-// (2) unique fan-out — every machine sends a distinct small message to
-// every peer, so per-message bookkeeping and allocator churn dominate;
-// (3) two-hop shuffle — route_via_random_intermediate, so envelope
-// (re)serialization dominates.  Throughput counters are bytes of payload
-// handed to the message plane per second, which makes before/after
-// comparisons of the plane itself meaningful.
+// Four workloads stress the costs the message plane pays per superstep:
+// (1) broadcast-heavy — every machine broadcasts the same payload to all
+// k-1 peers, so payload copying (or sharing) dominates; (2) unique
+// fan-out — every machine sends a distinct message to every peer, so
+// per-message bookkeeping and allocator churn dominate (the 16/64-byte
+// cases live on the per-link frame batching path); (3) two-hop shuffle —
+// route_via_random_intermediate, so envelope (re)serialization dominates;
+// (4) barrier latency — empty supersteps at k up to 256, so the tree
+// barrier's rendezvous and wake-up are the whole cost.  Throughput
+// counters are bytes of payload handed to the message plane per second,
+// which makes before/after comparisons of the plane itself meaningful.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
@@ -50,7 +52,8 @@ void BM_BroadcastHeavy(benchmark::State& state) {
                           static_cast<std::int64_t>(payload_bytes));
   state.counters["rounds"] = static_cast<double>(metrics.rounds);
 }
-BENCHMARK(BM_BroadcastHeavy)->Arg(256)->Arg(4096)->Arg(16384)->Arg(65536)
+BENCHMARK(BM_BroadcastHeavy)->Arg(16)->Arg(256)->Arg(4096)->Arg(16384)
+    ->Arg(65536)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 void BM_UniqueFanOut(benchmark::State& state) {
@@ -81,7 +84,44 @@ void BM_UniqueFanOut(benchmark::State& state) {
                           static_cast<std::int64_t>(payload_bytes));
   state.counters["rounds"] = static_cast<double>(metrics.rounds);
 }
-BENCHMARK(BM_UniqueFanOut)->Arg(64)->Arg(1024)
+BENCHMARK(BM_UniqueFanOut)->Arg(16)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_TinyBatchFanOut(benchmark::State& state) {
+  // The frame-batching target: many tiny messages per link per
+  // superstep, where the per-message fixed cost (a refcounted buffer
+  // each) used to dominate.  Payload is 16 bytes; range(0) messages go
+  // to every peer every superstep.
+  const auto per_link = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::byte> blob(16, std::byte{0x77});
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(kMachines, {.bandwidth_bits = kBandwidth, .seed = 25});
+    metrics = engine.run([&](MachineContext& ctx) {
+      for (int step = 0; step < kSupersteps; ++step) {
+        for (std::size_t dst = 0; dst < kMachines; ++dst) {
+          if (dst == ctx.id()) continue;
+          for (std::size_t i = 0; i < per_link; ++i) {
+            Writer w;
+            w.put_bytes(blob);
+            ctx.send(dst, 4, w);
+          }
+        }
+        const auto in = ctx.exchange();
+        if (in.size() != per_link * (kMachines - 1)) {
+          throw std::logic_error("bench_exchange: lost tiny messages");
+        }
+        benchmark::DoNotOptimize(in.data());
+      }
+    });
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kSupersteps * kMachines *
+                          (kMachines - 1) * per_link),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TinyBatchFanOut)->Arg(8)->Arg(32)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 void BM_TwoHopShuffle(benchmark::State& state) {
@@ -112,6 +152,29 @@ void BM_TwoHopShuffle(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TwoHopShuffle)->Arg(1024)->Arg(8192)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_BarrierLatency(benchmark::State& state) {
+  // Empty supersteps: no messages move, so the whole per-step cost is the
+  // rendezvous — tree arrival, root finalize, sense-flip wake-up.  The
+  // k = 256 case exercises a 4-level tree; one engine run amortizes the
+  // k thread spawns over kSteps barriers.
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  constexpr int kSteps = 16;
+  for (auto _ : state) {
+    Engine engine(machines, {.bandwidth_bits = kBandwidth, .seed = 24});
+    engine.run([&](MachineContext& ctx) {
+      for (int step = 0; step < kSteps; ++step) {
+        const auto in = ctx.exchange();
+        benchmark::DoNotOptimize(in.data());
+      }
+    });
+  }
+  state.counters["barriers/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kSteps),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BarrierLatency)->Arg(16)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 }  // namespace

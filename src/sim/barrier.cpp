@@ -1,0 +1,63 @@
+#include "sim/barrier.hpp"
+
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace km {
+
+TreeBarrier::TreeBarrier(std::size_t participants)
+    : participants_(participants) {
+  if (participants < 1) {
+    throw std::invalid_argument("TreeBarrier: participants must be >= 1");
+  }
+  leaf_count_ = ceil_div(participants, kArity);
+
+  // Count nodes level by level (leaves, then ceil(n/4) parents of those,
+  // ... down to a single root) so the vector never reallocates: Node
+  // holds a std::atomic and must be constructed in place.
+  std::size_t total = 0;
+  for (std::size_t level = leaf_count_;; level = ceil_div(level, kArity)) {
+    total += level;
+    if (level == 1) break;
+  }
+  nodes_ = std::vector<Node>(total);
+  local_ = std::vector<LocalSense>(participants);
+
+  // Leaves: node i owns participants [i*kArity, min(n, (i+1)*kArity)).
+  for (std::size_t i = 0; i < leaf_count_; ++i) {
+    Node& n = nodes_[i];
+    n.leaf = true;
+    n.child_begin = i * kArity;
+    n.child_end = std::min(participants, (i + 1) * kArity);
+    n.fan_in = static_cast<std::uint32_t>(n.child_end - n.child_begin);
+  }
+  // Internal levels: parent j of a level covers child nodes
+  // [base + j*kArity, base + min(count, (j+1)*kArity)).
+  std::size_t base = 0;             // first node id of the child level
+  std::size_t count = leaf_count_;  // nodes in the child level
+  while (count > 1) {
+    const std::size_t parents = ceil_div(count, kArity);
+    const std::size_t parent_base = base + count;
+    for (std::size_t j = 0; j < parents; ++j) {
+      Node& n = nodes_[parent_base + j];
+      n.child_begin = base + j * kArity;
+      n.child_end = base + std::min(count, (j + 1) * kArity);
+      n.fan_in = static_cast<std::uint32_t>(n.child_end - n.child_begin);
+      for (std::size_t c = n.child_begin; c < n.child_end; ++c) {
+        nodes_[c].parent = parent_base + j;
+      }
+    }
+    base = parent_base;
+    count = parents;
+  }
+}
+
+void TreeBarrier::reset() noexcept {
+  for (Node& n : nodes_) n.arrived.store(0, std::memory_order_relaxed);
+  for (LocalSense& s : local_) s.value = 0;
+  sense_.store(0, std::memory_order_relaxed);
+  stop_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace km

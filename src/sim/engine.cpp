@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/buffer_pool.hpp"
 #include "util/mathx.hpp"
 
 namespace km {
@@ -21,7 +22,7 @@ std::uint64_t EngineConfig::default_bandwidth(std::size_t n) noexcept {
 MachineContext::MachineContext(Engine* engine, std::size_t id, Rng rng)
     : engine_(engine), id_(id), rng_(rng) {
   const std::size_t k = engine_->k();
-  for (auto& buckets : out_buckets_) buckets.resize(k);
+  for (auto& links : out_) links.resize(k);
   out_bits_.assign(k, 0);
   out_msgs_.assign(k, 0);
 }
@@ -32,45 +33,109 @@ const EngineConfig& MachineContext::config() const noexcept {
   return engine_->config();
 }
 
-void MachineContext::send(std::size_t dst, std::uint16_t tag,
-                          PayloadRef payload) {
+MachineContext::LinkOut& MachineContext::link_for(std::size_t dst) {
   if (dst == id_) {
     throw std::logic_error("MachineContext::send: self-addressed message");
   }
   if (dst >= k()) {
     throw std::out_of_range("MachineContext::send: bad destination");
   }
+  return out_[barriers_passed_ & 1][dst];
+}
+
+void MachineContext::account_send(std::size_t dst,
+                                  std::uint64_t payload_bytes) {
+  // Phase 1 of the exchange protocol: cost the link now — one header plus
+  // the payload per message, framed or not (the unbatched formula) — so
+  // the barrier folds only counters.  The row aggregates keep the leaf
+  // fold O(1) per machine scalar.
+  const std::uint64_t bits = Message::kHeaderBits + payload_bytes * 8;
+  out_bits_[dst] += bits;
+  out_msgs_[dst] += 1;
+  row_bits_ += bits;
+  row_msgs_ += 1;
+  row_max_ = std::max(row_max_, out_bits_[dst]);
+}
+
+// Framing pays a memcpy to save a refcounted buffer per message; with a
+// single message on the link there is nothing to amortize it against, so
+// a link's first small message takes the zero-copy path and framing
+// starts from the second.  (Delivery order is independent of the split:
+// the messages vector is authoritative.)
+bool MachineContext::should_frame(const LinkOut& link,
+                                  std::size_t payload_bytes) {
+  return payload_bytes <= kFramedPayloadMaxBytes && !link.messages.empty();
+}
+
+Message MachineContext::stamp(std::size_t dst, std::uint16_t tag) const {
   Message msg;
   msg.src = static_cast<std::uint32_t>(id_);
   msg.dst = static_cast<std::uint32_t>(dst);
   msg.tag = tag;
+  return msg;
+}
+
+void MachineContext::send(std::size_t dst, std::uint16_t tag,
+                          PayloadRef payload) {
+  LinkOut& link = link_for(dst);
+  account_send(dst, payload.size());
+  Message msg = stamp(dst, tag);
   msg.payload = std::move(payload);
-  // Phase 1 of the exchange protocol: bucket by destination and cost the
-  // link now, so the barrier merge only touches counters.
-  out_bits_[dst] += msg.size_bits();
-  out_msgs_[dst] += 1;
-  out_buckets_[barriers_passed_ & 1][dst].push_back(std::move(msg));
+  link.messages.push_back(std::move(msg));
+}
+
+void MachineContext::send_framed(LinkOut& link, std::size_t dst,
+                                 std::uint16_t tag,
+                                 std::span<const std::byte> payload) {
+  account_send(dst, payload.size());
+  // The frame is one pooled buffer per (src, dst, superstep); its entries
+  // are length-prefixed and appear in the same order as the indices in
+  // link.framed, so delivery can walk both in lockstep.
+  if (link.frame.capacity() == 0) link.frame = acquire_buffer();
+  link.framed.push_back(static_cast<std::uint32_t>(link.messages.size()));
+  append_varint(link.frame, payload.size());
+  link.frame.insert(link.frame.end(), payload.begin(), payload.end());
+  // The payload stays empty until delivery slices the frame.
+  link.messages.push_back(stamp(dst, tag));
 }
 
 void MachineContext::send(std::size_t dst, std::uint16_t tag,
                           std::vector<std::byte> payload) {
-  send(dst, tag, PayloadRef(std::move(payload)));
+  LinkOut& link = link_for(dst);
+  if (should_frame(link, payload.size())) {
+    send_framed(link, dst, tag, payload);
+    recycle_buffer(std::move(payload));
+  } else {
+    account_send(dst, payload.size());
+    Message msg = stamp(dst, tag);
+    msg.payload = PayloadRef(std::move(payload));
+    link.messages.push_back(std::move(msg));
+  }
 }
 
 void MachineContext::send(std::size_t dst, std::uint16_t tag, Writer& writer) {
-  send(dst, tag, PayloadRef(writer.take()));
+  LinkOut& link = link_for(dst);
+  if (should_frame(link, writer.size_bytes())) {
+    send_framed(link, dst, tag, writer.view());
+    writer.clear();  // consumed; capacity stays with the writer
+  } else {
+    account_send(dst, writer.size_bytes());
+    Message msg = stamp(dst, tag);
+    msg.payload = PayloadRef(writer.take());
+    link.messages.push_back(std::move(msg));
+  }
 }
 
 void MachineContext::broadcast(std::uint16_t tag, Writer& writer) {
   const PayloadRef payload(writer.take());
   for (std::size_t dst = 0; dst < k(); ++dst) {
     if (dst == id_) continue;
-    send(dst, tag, payload);  // shares the buffer, no copy
+    send(dst, tag, payload);  // shares the buffer, no copy, never framed
   }
 }
 
 std::vector<Message> MachineContext::exchange() {
-  if (engine_->barrier_arrive_and_wait()) {
+  if (engine_->barrier_arrive_and_wait(id_)) {
     // Only possible when the engine aborted (superstep budget, or a
     // failed barrier merge): a normal stop requires *all* machines to
     // have finished, and this one hasn't.
@@ -86,7 +151,7 @@ std::vector<std::uint64_t> MachineContext::all_gather(std::uint64_t value) {
   Writer w;
   w.put_varint(value);
   broadcast(kCollectiveTag, w);
-  if (engine_->barrier_arrive_and_wait()) {
+  if (engine_->barrier_arrive_and_wait(id_)) {
     throw std::runtime_error("MachineContext::all_gather: engine aborted");
   }
   std::vector<Message> raw;
@@ -125,8 +190,16 @@ bool MachineContext::all_reduce_or(bool value) {
 // ---------------------------------------------------------------------------
 
 Engine::Engine(std::size_t k, EngineConfig config)
-    : k_(k), config_(std::move(config)), network_(k, config_.bandwidth_bits) {
+    : k_(k),
+      config_(std::move(config)),
+      network_(k, config_.bandwidth_bits),
+      barrier_(k),
+      node_accums_(barrier_.node_count()) {
   if (k_ < 1) throw std::invalid_argument("Engine: k must be >= 1");
+  for (NodeAccum& acc : node_accums_) {
+    acc.recv_bits.assign(k_, 0);
+    acc.recv_msgs.assign(k_, 0);
+  }
 }
 
 Metrics Engine::run(const Program& program) {
@@ -145,11 +218,21 @@ Metrics Engine::run(const Program& program) {
   metrics_ = Metrics{};
   metrics_.send_bits_per_machine.assign(k_, 0);
   metrics_.recv_bits_per_machine.assign(k_, 0);
-  waiting_ = 0;
-  generation_ = 0;
-  stop_ = false;
-  finished_count_ = 0;
-  first_error_ = nullptr;
+  // An aborted run leaves folded-but-unconsumed accumulators behind;
+  // re-arm everything before the first machine thread starts.
+  barrier_.reset();
+  for (NodeAccum& acc : node_accums_) {
+    acc.bits = acc.msgs = acc.max_link = 0;
+    std::fill(acc.recv_bits.begin(), acc.recv_bits.end(), 0);
+    std::fill(acc.recv_msgs.begin(), acc.recv_msgs.end(), 0);
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  finished_count_.store(0, std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock(mutex_);
+    first_error_ = nullptr;
+  }
+  const BufferPoolCounters pool_baseline = buffer_pool_counters();
 
   const auto start = std::chrono::steady_clock::now();
   {
@@ -160,22 +243,19 @@ Metrics Engine::run(const Program& program) {
         try {
           program(*contexts_[i]);
         } catch (...) {
-          std::scoped_lock lock(mutex_);
+          const std::scoped_lock lock(mutex_);
           if (!first_error_) first_error_ = std::current_exception();
         }
-        {
-          std::scoped_lock lock(mutex_);
-          contexts_[i]->finished_ = true;
-          ++finished_count_;
-        }
+        contexts_[i]->finished_ = true;  // published by the next arrival
+        finished_count_.fetch_add(1, std::memory_order_release);
         // Keep participating in barriers until the engine stops, so
         // machines that finish early do not deadlock the others.  The
         // stop flag is checked *before* arriving: once it is set, no
-        // thread will enter another barrier generation.  Incoming
-        // buckets still have to be walked each generation — discarded,
+        // thread will enter another barrier episode.  Incoming
+        // buckets still have to be walked each episode — discarded,
         // not delivered — to keep the parity hand-off sound.
         while (!stopped()) {
-          if (barrier_arrive_and_wait()) break;
+          if (barrier_arrive_and_wait(i)) break;
           discard_inbound(*contexts_[i]);
         }
       });
@@ -184,112 +264,167 @@ Metrics Engine::run(const Program& program) {
   const auto end = std::chrono::steady_clock::now();
   metrics_.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
+  metrics_.pool = buffer_pool_counters().since(pool_baseline);
 
   if (first_error_) std::rethrow_exception(first_error_);
   return metrics_;
 }
 
-bool Engine::stopped() const {
-  std::scoped_lock lock(mutex_);
-  return stop_;
+bool Engine::barrier_arrive_and_wait(std::size_t who) {
+  return barrier_.arrive(
+      who,
+      [this](std::size_t node, bool leaf, std::size_t child_begin,
+             std::size_t child_end) {
+        fold_node(node, leaf, child_begin, child_end);
+      },
+      [this] { return finalize_superstep(); });
 }
 
-bool Engine::barrier_arrive_and_wait() {
-  std::unique_lock lock(mutex_);
-  const std::uint64_t gen = generation_;
-  if (++waiting_ == k_) {
-    waiting_ = 0;
-    try {
-      on_barrier_complete();
-    } catch (...) {
-      // A throw out of the merge must not leave the other machines
-      // parked on the condition variable forever: record it, stop the
-      // engine, and complete the generation so everyone wakes and sees
-      // the stop flag.
-      if (!first_error_) first_error_ = std::current_exception();
-      stop_ = true;
+void Engine::fold_node(std::size_t node, bool leaf, std::size_t child_begin,
+                       std::size_t child_end) {
+  // Phase 2 of the exchange protocol: runs on the last thread to arrive
+  // at `node`, with every child quiescent (their arrivals happen-before
+  // this call).  Only pre-computed integer counters fold here — payloads
+  // never ride the barrier.  Children are zeroed as they are consumed so
+  // the next episode starts clean.
+  NodeAccum& acc = node_accums_[node];
+  if (leaf) {
+    for (std::size_t m = child_begin; m < child_end; ++m) {
+      MachineContext& from = *contexts_[m];
+      if (from.row_msgs_ == 0) continue;
+      acc.bits += from.row_bits_;
+      acc.msgs += from.row_msgs_;
+      acc.max_link = std::max(acc.max_link, from.row_max_);
+      metrics_.send_bits_per_machine[m] += from.row_bits_;
+      for (std::size_t dst = 0; dst < k_; ++dst) {
+        if (from.out_msgs_[dst] == 0) continue;
+        acc.recv_bits[dst] += from.out_bits_[dst];
+        acc.recv_msgs[dst] += from.out_msgs_[dst];
+        from.out_bits_[dst] = 0;
+        from.out_msgs_[dst] = 0;
+      }
+      from.row_bits_ = from.row_msgs_ = from.row_max_ = 0;
     }
-    ++generation_;
-    cv_.notify_all();
-    return stop_;
+  } else {
+    for (std::size_t c = child_begin; c < child_end; ++c) {
+      NodeAccum& child = node_accums_[c];
+      if (child.msgs == 0) continue;
+      acc.bits += child.bits;
+      acc.msgs += child.msgs;
+      acc.max_link = std::max(acc.max_link, child.max_link);
+      for (std::size_t dst = 0; dst < k_; ++dst) {
+        if (child.recv_msgs[dst] == 0) continue;
+        acc.recv_bits[dst] += child.recv_bits[dst];
+        acc.recv_msgs[dst] += child.recv_msgs[dst];
+        child.recv_bits[dst] = 0;
+        child.recv_msgs[dst] = 0;
+      }
+      child.bits = child.msgs = child.max_link = 0;
+    }
   }
-  cv_.wait(lock, [&] { return generation_ != gen; });
-  return stop_;
 }
 
-void Engine::on_barrier_complete() {
-  // Phase 2 of the exchange protocol: runs on the last arriving thread,
-  // under mutex_; all other machine threads are blocked on the condition
-  // variable, so reading their counters is safe.  Only the pre-computed
-  // per-link counters are merged here — O(k^2) integer work.  Payloads
-  // never pass through this critical section; they move in parallel on
-  // the machine threads afterwards (drain_inbound).
-  if (config_.barrier_fault_injection) {
-    config_.barrier_fault_injection(metrics_.supersteps);
-  }
-  DeliveryStats stats;
-  for (std::size_t src = 0; src < k_; ++src) {
-    MachineContext& from = *contexts_[src];
-    for (std::size_t dst = 0; dst < k_; ++dst) {
-      const std::uint64_t msgs = from.out_msgs_[dst];
-      if (msgs == 0) continue;
-      const std::uint64_t bits = from.out_bits_[dst];
-      stats.messages += msgs;
-      stats.bits += bits;
-      stats.max_link_bits = std::max(stats.max_link_bits, bits);
-      metrics_.send_bits_per_machine[src] += bits;
-      metrics_.recv_bits_per_machine[dst] += bits;
-      if (contexts_[dst]->finished_) metrics_.dropped_messages += msgs;
-      from.out_bits_[dst] = 0;
-      from.out_msgs_[dst] = 0;
+bool Engine::finalize_superstep() {
+  // Runs once per superstep on the root's last arriver; by the acq_rel
+  // arrival chain it happens-after every machine's sends, finish flag,
+  // and the whole counter fold.  Must not throw: failures become
+  // first_error_ plus a stop that propagates down the release.
+  NodeAccum& root = node_accums_[barrier_.root()];
+  bool stop = false;
+  try {
+    if (config_.barrier_fault_injection) {
+      config_.barrier_fault_injection(metrics_.supersteps);
     }
-  }
-  if (stats.messages > 0) {
-    stats.any = true;
-    stats.rounds = network_.rounds_for(stats.max_link_bits);
-  }
-  // The final barrier generation where every machine has already finished
-  // (the drain pass) is bookkeeping, not a superstep of the algorithm.
-  if (!(finished_count_ == k_ && !stats.any)) {
-    if (config_.record_timeline) {
-      metrics_.timeline.push_back({.superstep = metrics_.supersteps,
-                                   .rounds = stats.rounds,
-                                   .messages = stats.messages,
-                                   .bits = stats.bits,
-                                   .max_link_bits = stats.max_link_bits});
+    DeliveryStats stats;
+    stats.messages = root.msgs;
+    stats.bits = root.bits;
+    stats.max_link_bits = root.max_link;
+    if (root.msgs > 0) {
+      stats.any = true;
+      stats.rounds = network_.rounds_for(stats.max_link_bits);
+      for (std::size_t dst = 0; dst < k_; ++dst) {
+        if (root.recv_msgs[dst] == 0) continue;
+        metrics_.recv_bits_per_machine[dst] += root.recv_bits[dst];
+        if (contexts_[dst]->finished_) {
+          metrics_.dropped_messages += root.recv_msgs[dst];
+        }
+        root.recv_bits[dst] = 0;
+        root.recv_msgs[dst] = 0;
+      }
     }
-    ++metrics_.supersteps;
+    root.bits = root.msgs = root.max_link = 0;
+    const bool all_finished =
+        finished_count_.load(std::memory_order_acquire) == k_;
+    // The final barrier episode where every machine has already finished
+    // (the drain pass) is bookkeeping, not a superstep of the algorithm.
+    if (!(all_finished && !stats.any)) {
+      if (config_.record_timeline) {
+        metrics_.timeline.push_back({.superstep = metrics_.supersteps,
+                                     .rounds = stats.rounds,
+                                     .messages = stats.messages,
+                                     .bits = stats.bits,
+                                     .max_link_bits = stats.max_link_bits});
+      }
+      ++metrics_.supersteps;
+    }
+    metrics_.rounds += stats.rounds;
+    metrics_.messages += stats.messages;
+    metrics_.bits += stats.bits;
+    metrics_.max_link_bits_superstep =
+        std::max(metrics_.max_link_bits_superstep, stats.max_link_bits);
+    if (all_finished) stop = true;
+    if (metrics_.supersteps > config_.max_supersteps) {
+      const std::scoped_lock lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::make_exception_ptr(std::runtime_error(
+            "Engine: superstep budget exhausted (runaway loop?)"));
+      }
+      stop = true;
+    }
+  } catch (...) {
+    // A throw out of the merge must not leave the other machines parked
+    // forever: record it and stop, so the sense flip wakes everyone into
+    // the abort path.
+    const std::scoped_lock lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+    stop = true;
   }
-  metrics_.rounds += stats.rounds;
-  metrics_.messages += stats.messages;
-  metrics_.bits += stats.bits;
-  metrics_.max_link_bits_superstep =
-      std::max(metrics_.max_link_bits_superstep, stats.max_link_bits);
-  if (finished_count_ == k_) stop_ = true;
-  if (metrics_.supersteps > config_.max_supersteps && !first_error_) {
-    first_error_ = std::make_exception_ptr(std::runtime_error(
-        "Engine: superstep budget exhausted (runaway loop?)"));
-    stop_ = true;
-  }
+  if (stop) stop_.store(true, std::memory_order_release);
+  return stop;
 }
 
 void Engine::drain_inbound(MachineContext& ctx, std::vector<Message>& into) {
   // Runs on ctx's own thread with no lock held.  Safe: the sources wrote
-  // these buckets before arriving at the barrier we just left (the
-  // barrier mutex publishes them), and their next sends go to the
+  // these LinkOuts before arriving at the barrier we just left (the tree
+  // barrier's release publishes them), and their next sends go to the
   // opposite parity.
   const std::size_t parity = ctx.barriers_passed_ & 1;
   ++ctx.barriers_passed_;
   std::size_t total = into.size();
   for (std::size_t src = 0; src < k_; ++src) {
-    total += contexts_[src]->out_buckets_[parity][ctx.id_].size();
+    total += contexts_[src]->out_[parity][ctx.id_].messages.size();
   }
   into.reserve(total);
   for (std::size_t src = 0; src < k_; ++src) {
-    auto& bucket = contexts_[src]->out_buckets_[parity][ctx.id_];
-    into.insert(into.end(), std::make_move_iterator(bucket.begin()),
-                std::make_move_iterator(bucket.end()));
-    bucket.clear();  // keeps capacity: message-slot pool across supersteps
+    auto& link = contexts_[src]->out_[parity][ctx.id_];
+    if (!link.framed.empty()) {
+      // Re-materialize framed payloads: the whole frame becomes one
+      // refcounted buffer and each framed message gets a zero-copy slice
+      // of it, restoring the exact bytes the sender wrote.
+      PayloadRef frame(std::move(link.frame));
+      Reader r(frame.view());
+      for (const std::uint32_t idx : link.framed) {
+        const std::uint64_t len = r.get_varint();
+        const std::size_t offset = frame.size() - r.remaining();
+        link.messages[idx].payload =
+            frame.slice(offset, static_cast<std::size_t>(len));
+        r.skip(static_cast<std::size_t>(len));
+      }
+      link.framed.clear();
+    }
+    into.insert(into.end(), std::make_move_iterator(link.messages.begin()),
+                std::make_move_iterator(link.messages.end()));
+    link.messages.clear();  // keeps capacity: slot pool across supersteps
   }
 }
 
@@ -297,7 +432,10 @@ void Engine::discard_inbound(MachineContext& ctx) {
   const std::size_t parity = ctx.barriers_passed_ & 1;
   ++ctx.barriers_passed_;
   for (std::size_t src = 0; src < k_; ++src) {
-    contexts_[src]->out_buckets_[parity][ctx.id_].clear();
+    auto& link = contexts_[src]->out_[parity][ctx.id_];
+    link.messages.clear();
+    link.framed.clear();
+    link.frame.clear();  // keeps capacity for the link's next superstep
   }
 }
 
@@ -307,7 +445,12 @@ std::string Metrics::summary() const {
      << " messages=" << messages << " bits=" << bits
      << " max_link_bits=" << max_link_bits_superstep
      << " max_recv_bits=" << max_recv_bits()
-     << " dropped=" << dropped_messages << " wall_ms=" << wall_ms;
+     << " dropped=" << dropped_messages << " wall_ms=" << wall_ms
+     << " pool_hits=" << pool.hits << " pool_misses=" << pool.misses
+     << " pool_evicted=" << pool.evicted
+     << " pool_evicted_bytes=" << pool.evicted_bytes
+     << " pool_buffers=" << pool.pooled_buffers
+     << " pool_bytes=" << pool.pooled_bytes;
   return os.str();
 }
 

@@ -8,23 +8,50 @@
 // returns each machine the messages addressed to it.  Local computation
 // between exchanges is free, as in the paper.
 //
-// Message plane (two-phase exchange protocol):
+// Message plane (three-phase exchange protocol):
 //  - Phase 1 (pre-bucket, outside any lock): send() buckets each message
-//    into a per-destination queue owned by the sending machine and
+//    into a per-destination LinkOut owned by the sending machine and
 //    accumulates that link's bit/message counters on the fly, so by the
 //    time a machine arrives at the barrier its outbound traffic is fully
-//    bucketed and costed.  broadcast() shares one immutable PayloadRef
-//    across all k-1 messages instead of deep-copying the payload.
-//  - Phase 2 (merge, under the barrier lock): the last machine to arrive
-//    only merges the k*k pre-computed per-link counters into DeliveryStats
-//    (rounds = ceil(max link bits / B)) and flips the bucket parity —
-//    O(k^2) integer work, never O(messages) payload traffic.
-//  - Delivery (lock-free, after the barrier): each machine drains the
-//    buckets addressed to it from all k sources in ascending source
-//    order, in parallel with every other machine, without taking the
-//    engine lock.  Buckets are double-buffered by barrier parity so the
-//    drain of superstep s never races the sends of superstep s+1; the
-//    barrier's mutex hand-off provides the happens-before edges (tsan
+//    bucketed and costed.  Small payloads (<= kFramedPayloadMaxBytes,
+//    sim/message.hpp) produced by the Writer/vector overloads are
+//    *framed* from the link's second message of the superstep onward:
+//    their bytes are appended to one length-prefixed frame buffer per
+//    (src, dst, superstep) — layout per entry:
+//    varint(payload_len) | payload bytes — instead of each becoming a
+//    refcounted heap buffer of its own.  (A link's first message has
+//    nothing to amortize the copy against and takes the zero-copy
+//    path.)  One pooled frame buffer
+//    amortizes the per-message fixed cost (PayloadBuf object + refcount
+//    traffic + allocator round trip) across every small message on the
+//    link, which is what dominates tiny-payload workloads.  Accounting is
+//    deliberately *unbatched*: every message is still charged
+//    Message::kHeaderBits + 8 * payload_bytes against its link, framed or
+//    not, so rounds/bits/max_link_bits are byte-identical to an
+//    unbatched plane (tests/test_exchange_determinism.cpp enforces
+//    this).  broadcast() and the PayloadRef overload are never framed:
+//    they share one immutable PayloadRef across receivers (zero-copy),
+//    which is already cheaper than copying into k-1 frames.
+//  - Phase 2 (merge, folding up the barrier tree): the superstep
+//    rendezvous is a sense-reversing arity-4 combining-tree barrier
+//    (sim/barrier.hpp).  The last arriver at each tree node folds its
+//    children's per-link counters into the node's accumulator — machines'
+//    out_bits_/out_msgs_ rows at the leaves, child accumulators at
+//    internal nodes — so the merge that used to be O(k^2) on the last
+//    thread is now O(arity * k) per folder, pipelined up the tree.  The
+//    root's last arriver finalizes the superstep: rounds =
+//    ceil(max link bits / B), per-machine recv bits, dropped-message
+//    bookkeeping, timeline, stop/budget checks.  Payloads never pass
+//    through the barrier; only integers fold.
+//  - Phase 3 (delivery, lock-free): after release each machine drains the
+//    LinkOuts addressed to it from all k sources in ascending source
+//    order, in parallel with every other machine, without any lock.  A
+//    link's frame buffer is wrapped in one PayloadRef and every framed
+//    message becomes a zero-copy slice of it, interleaved with unframed
+//    messages in original send order.  LinkOuts are double-buffered by
+//    barrier parity so the drain of superstep s never races the sends of
+//    superstep s+1; the tree barrier's acq_rel arrival chain and
+//    release-on-sense-flip provide the happens-before edges (tsan
 //    verified by the CI tsan job).
 //
 // Conventions:
@@ -41,7 +68,7 @@
 #pragma once
 
 #include <array>
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -50,6 +77,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/barrier.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
@@ -64,9 +92,11 @@ struct EngineConfig {
   std::uint64_t max_supersteps = 1'000'000;  ///< runaway-loop backstop
   /// Record a per-superstep SuperstepStats timeline in Metrics::timeline.
   bool record_timeline = false;
-  /// Test-only fault injection: invoked (under the engine lock) at the
-  /// start of every barrier merge.  A throw from here must abort the run
-  /// cleanly — captured as the run's first error, never a deadlock.
+  /// Test-only fault injection: invoked on the root finalizer at the
+  /// start of every superstep merge (all machines arrived, none released).
+  /// A throw from here must abort the run cleanly — captured as the run's
+  /// first error and propagated down the barrier tree as a stop, never a
+  /// deadlock.
   std::function<void(std::uint64_t superstep)> barrier_fault_injection = {};
 
   /// Bandwidth used throughout the paper: B = Theta(polylog n).
@@ -109,6 +139,34 @@ class MachineContext {
   friend class Engine;
   MachineContext(Engine* engine, std::size_t id, Rng rng);
 
+  /// One link's pre-bucketed outbound traffic for one superstep parity.
+  /// `messages` holds every message in send order; a framed message sits
+  /// there with an empty payload until delivery, when its bytes are
+  /// sliced back out of `frame`.  `framed` lists the indices of framed
+  /// entries (ascending), and `frame` is the shared length-prefixed
+  /// buffer (varint(len) | bytes per entry, same order as `framed`).
+  struct LinkOut {
+    std::vector<Message> messages;
+    std::vector<std::uint32_t> framed;
+    std::vector<std::byte> frame;
+  };
+
+  /// Validates dst and returns its current-parity LinkOut.
+  LinkOut& link_for(std::size_t dst);
+  /// A Message with src/dst/tag filled in, payload empty.
+  Message stamp(std::size_t dst, std::uint16_t tag) const;
+  /// Charges the link (unbatched formula) and updates the sender's row
+  /// aggregates.  Every send path funnels through here.
+  void account_send(std::size_t dst, std::uint64_t payload_bytes);
+  /// Transport policy: small payloads are framed from the link's second
+  /// message onward (one message has nothing to amortize the copy
+  /// against).  Never affects accounting or delivery order.
+  static bool should_frame(const LinkOut& link, std::size_t payload_bytes);
+  /// Appends a small payload to the link's frame (acquiring a pooled
+  /// buffer on first use) and records the framed entry.
+  void send_framed(LinkOut& link, std::size_t dst, std::uint16_t tag,
+                   std::span<const std::byte> payload);
+
   Engine* engine_;
   std::size_t id_;
   Rng rng_;
@@ -116,11 +174,16 @@ class MachineContext {
   // Pre-bucketed outbound traffic (phase 1 of the exchange protocol).
   // Double-buffered by barrier parity: sends of superstep s fill parity
   // s&1 while receivers drain parity (s-1)&1 from the previous barrier.
-  // Bucket vectors keep their capacity across supersteps (message-slot
-  // pooling).
-  std::array<std::vector<std::vector<Message>>, 2> out_buckets_;
+  // Vectors keep their capacity across supersteps (slot pooling).
+  std::array<std::vector<LinkOut>, 2> out_;
   std::vector<std::uint64_t> out_bits_;   ///< per-destination bit totals
   std::vector<std::uint64_t> out_msgs_;   ///< per-destination msg counts
+  // Row aggregates over out_bits_/out_msgs_, maintained incrementally by
+  // account_send() so the barrier's leaf fold reads three scalars instead
+  // of re-scanning the row.
+  std::uint64_t row_bits_ = 0;   ///< sum over dst of out_bits_[dst]
+  std::uint64_t row_msgs_ = 0;   ///< sum over dst of out_msgs_[dst]
+  std::uint64_t row_max_ = 0;    ///< max over dst of out_bits_[dst]
   std::uint64_t barriers_passed_ = 0;     ///< drives the bucket parity
 
   std::vector<Message> stashed_;  // non-collective msgs seen by collectives
@@ -145,15 +208,38 @@ class Engine {
  private:
   friend class MachineContext;
 
-  /// Returns true when the engine has stopped (all machines finished, or
-  /// the superstep budget was exhausted, or a barrier merge failed).
-  bool barrier_arrive_and_wait();
-  bool stopped() const;
-  void on_barrier_complete();  // runs once per superstep, under the lock
+  /// Per-barrier-node fold state: the subtree's traffic totals plus the
+  /// per-destination column sums that become recv_bits_per_machine and
+  /// the dropped-message count.  Folders zero a child's accumulator
+  /// right after consuming it, so every episode starts from zeros.
+  struct NodeAccum {
+    std::uint64_t bits = 0;
+    std::uint64_t msgs = 0;
+    std::uint64_t max_link = 0;
+    std::vector<std::uint64_t> recv_bits;  ///< length k
+    std::vector<std::uint64_t> recv_msgs;  ///< length k
+  };
+
+  /// Arrives machine `who` at the tree barrier; returns true when the
+  /// engine has stopped (all machines finished, superstep budget
+  /// exhausted, or a merge failed).
+  bool barrier_arrive_and_wait(std::size_t who);
+  bool stopped() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+  /// Combining hook: the last arriver at `node` folds its children
+  /// (machine counter rows at leaves, child accumulators otherwise).
+  void fold_node(std::size_t node, bool leaf, std::size_t child_begin,
+                 std::size_t child_end);
+  /// Runs once per superstep on the root's last arriver: converts the
+  /// root accumulator into round/bit metrics and the stop decision.
+  /// Never throws — failures (fault injection) become first_error_ + stop.
+  bool finalize_superstep();
 
   /// Lock-free delivery (phase 3): moves every message addressed to `ctx`
-  /// from the sources' parity buckets into `into`, ascending source
-  /// order.  Advances the context's bucket parity.
+  /// from the sources' parity LinkOuts into `into`, ascending source
+  /// order, re-materializing framed payloads as zero-copy slices of each
+  /// link's frame buffer.  Advances the context's bucket parity.
   void drain_inbound(MachineContext& ctx, std::vector<Message>& into);
   /// Same bucket walk for a finished machine: discards instead of
   /// delivering (the merge step already counted these as dropped).
@@ -165,16 +251,14 @@ class Engine {
 
   std::vector<std::unique_ptr<MachineContext>> contexts_;
 
-  // Cyclic barrier state.
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::size_t waiting_ = 0;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  TreeBarrier barrier_;
+  std::vector<NodeAccum> node_accums_;  ///< indexed by barrier node id
 
-  std::size_t finished_count_ = 0;  // guarded by mutex_
-  Metrics metrics_;
-  std::exception_ptr first_error_;  // guarded by mutex_
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> finished_count_{0};
+  Metrics metrics_;           // written by fold/finalize inside the barrier
+  mutable std::mutex mutex_;  // guards first_error_ only
+  std::exception_ptr first_error_;
 };
 
 }  // namespace km

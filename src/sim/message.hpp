@@ -99,6 +99,20 @@ class PayloadRef {
     return out;
   }
 
+  /// Zero-copy sub-view of `len` bytes starting at `offset`, sharing this
+  /// buffer's ownership.  Both are clamped to the view.  The message
+  /// plane uses this to hand each framed message its bytes out of the
+  /// link's shared frame buffer without copying.  Note the flip side of
+  /// sharing: retaining one slice keeps the whole underlying buffer
+  /// alive.  A program that stores message payloads in long-lived state
+  /// should detach them with copy_of() instead of holding the ref.
+  PayloadRef slice(std::size_t offset, std::size_t len) const noexcept {
+    PayloadRef out(*this);  // bumps the refcount
+    out.remove_prefix(offset);
+    out.view_ = out.view_.subspan(0, std::min(len, out.view_.size()));
+    return out;
+  }
+
   /// Narrows this ref's view in place (no refcount traffic) — the
   /// move-friendly flavor of suffix().  offset is clamped to size().
   void remove_prefix(std::size_t offset) noexcept {
@@ -132,6 +146,9 @@ class PayloadRef {
 
 struct Message {
   /// Fixed per-message framing cost (tag), charged against bandwidth.
+  /// Charged for every message — even ones the message plane physically
+  /// batches into a per-link frame — so the cost accounting is a pure
+  /// function of the program, independent of transport batching.
   static constexpr std::size_t kHeaderBits = 16;
 
   std::uint32_t src = 0;  ///< stamped by the message plane on submit
@@ -144,10 +161,23 @@ struct Message {
   }
 };
 
+/// Largest payload (bytes) the message plane batches into a per-link
+/// frame instead of giving it a refcounted buffer of its own.  Applies
+/// to the Writer/vector send overloads, from a link's second message of
+/// the superstep onward; PayloadRef sends (including broadcast) always
+/// stay zero-copy shared.  Purely a transport policy: accounting never
+/// depends on it.
+inline constexpr std::size_t kFramedPayloadMaxBytes = 256;
+
 /// Tags >= kReservedTagBase are reserved for the runtime (collectives,
 /// two-hop routing envelopes); algorithms must use smaller tags.
 inline constexpr std::uint16_t kReservedTagBase = 0xFF00;
 inline constexpr std::uint16_t kCollectiveTag = 0xFF01;
 inline constexpr std::uint16_t kRouteEnvelopeTag = 0xFF02;
+/// Envelope of one chunk of an oversized two-hop message (see
+/// sim/routing.hpp): payloads larger than the per-link round budget are
+/// split across multiple random intermediates and reassembled at the
+/// destination, restoring Lemma 13's unit-size-message premise.
+inline constexpr std::uint16_t kRouteChunkTag = 0xFF03;
 
 }  // namespace km

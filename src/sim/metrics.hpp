@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "util/buffer_pool.hpp"
+
 namespace km {
 
 /// Cost of one superstep, recorded when EngineConfig::record_timeline is
@@ -43,6 +45,16 @@ struct Metrics {
   /// EngineConfig::record_timeline (opt-in: size is k-independent but
   /// grows with supersteps, and most callers only want totals).
   std::vector<SuperstepStats> timeline;
+
+  /// Buffer-pool activity during this run: hits/misses/evictions are the
+  /// process-wide counter delta between run start and end (with one
+  /// engine running at a time — the normal case — that is exactly the
+  /// run's machine threads; concurrent pool users would be folded in
+  /// too), and the occupancy gauges are the end-of-run reading.  A large
+  /// evicted_bytes means the workload's payloads thrash past the
+  /// per-thread pool caps and every superstep pays the allocator — see
+  /// util/buffer_pool.hpp.
+  BufferPoolCounters pool;
 
   /// Max bits received by any machine = empirical information cost bound.
   std::uint64_t max_recv_bits() const noexcept {

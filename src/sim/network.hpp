@@ -9,11 +9,14 @@
 //    per-destination inboxes (deterministic order: ascending source, then
 //    send order) and returns the round charge.  Used by tests and by
 //    callers that hold materialized outboxes.
-//  - rounds_for() is the bare round formula.  The engine's two-phase
-//    exchange pre-buckets messages on the machine threads and merges only
-//    per-link counters at the barrier, so payloads never funnel through
-//    the network object; it charges rounds via rounds_for() on the merged
-//    max-link load (byte-identical accounting to deliver()).
+//  - rounds_for() is the bare round formula.  The engine's three-phase
+//    exchange pre-buckets messages on the machine threads and folds only
+//    per-link counters up the tree barrier, so payloads never funnel
+//    through the network object; it charges rounds via rounds_for() on
+//    the root-merged max-link load.  The charge per message is
+//    Message::kHeaderBits + 8 * payload_bytes whether or not the
+//    transport physically batched it into a per-link frame, so both
+//    entry points stay byte-identical to deliver()'s accounting.
 #pragma once
 
 #include <cstdint>

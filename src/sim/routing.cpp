@@ -1,14 +1,22 @@
 #include "sim/routing.hpp"
 
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "util/buffer_pool.hpp"
+#include "util/mathx.hpp"
 #include "util/serialize.hpp"
 
 namespace km {
 
 namespace {
 
-// Envelope layout: varint(final dst), varint(tag), varint(origin src),
-// then the original payload bytes.  The origin travels in the envelope so
-// that a relayed message still reports its true sender after hop 2.
+// Envelope layout (tag kRouteEnvelopeTag): varint(final dst), varint(tag),
+// varint(origin src), then the original payload bytes.  The origin travels
+// in the envelope so that a relayed message still reports its true sender
+// after hop 2.
 PayloadRef make_envelope(std::uint32_t dst, std::uint16_t tag,
                          std::uint32_t origin,
                          std::span<const std::byte> payload) {
@@ -17,6 +25,27 @@ PayloadRef make_envelope(std::uint32_t dst, std::uint16_t tag,
   w.put_varint(tag);
   w.put_varint(origin);
   w.put_bytes(payload);
+  return PayloadRef(w.take());
+}
+
+// Chunk envelope layout (tag kRouteChunkTag): varint(final dst),
+// varint(tag), varint(origin src), varint(seq), varint(chunk index),
+// varint(chunk count), then this chunk's payload bytes.  (dst first, same
+// as the plain envelope, so the relay peeks one varint regardless of
+// kind.)  seq numbers the oversized messages of one routing call per
+// origin, making (origin, seq) a unique reassembly key.
+PayloadRef make_chunk_envelope(std::uint32_t dst, std::uint16_t tag,
+                               std::uint32_t origin, std::uint64_t seq,
+                               std::size_t index, std::size_t count,
+                               std::span<const std::byte> chunk) {
+  Writer w;
+  w.put_varint(dst);
+  w.put_varint(tag);
+  w.put_varint(origin);
+  w.put_varint(seq);
+  w.put_varint(index);
+  w.put_varint(count);
+  w.put_bytes(chunk);
   return PayloadRef(w.take());
 }
 
@@ -32,6 +61,68 @@ Message decode_envelope(Message&& env) {
   out.payload.remove_prefix(out.payload.size() - r.remaining());
   return out;
 }
+
+// Collects the chunks of split oversized messages and emits each message
+// once its last chunk lands.  Deterministic: chunk arrival order is a
+// pure function of the engine schedule, so completion order is too.
+class ChunkReassembler {
+ public:
+  std::optional<Message> add(Message&& env) {
+    Reader r(env.payload);
+    Message header;
+    header.dst = static_cast<std::uint32_t>(r.get_varint());
+    header.tag = static_cast<std::uint16_t>(r.get_varint());
+    header.src = static_cast<std::uint32_t>(r.get_varint());
+    const std::uint64_t seq = r.get_varint();
+    const std::size_t index = static_cast<std::size_t>(r.get_varint());
+    const std::size_t count = static_cast<std::size_t>(r.get_varint());
+    PayloadRef chunk = std::move(env.payload);
+    chunk.remove_prefix(chunk.size() - r.remaining());
+
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(header.src) << 32) ^ seq;
+    Partial& p = partials_[key];
+    if (p.parts.empty()) {
+      if (count < 2) {
+        throw std::logic_error("ChunkReassembler: chunk count must be >= 2");
+      }
+      p.message = header;
+      p.parts.resize(count);
+    }
+    if (index >= p.parts.size() || p.parts[index].received) {
+      throw std::logic_error("ChunkReassembler: bad or duplicate chunk");
+    }
+    p.parts[index] = {std::move(chunk), true};
+    p.bytes += p.parts[index].payload.size();
+    if (++p.received < p.parts.size()) return std::nullopt;
+
+    // Last chunk: splice the payload back together in index order.
+    std::vector<std::byte> bytes = acquire_buffer();
+    bytes.reserve(p.bytes);
+    for (const Part& part : p.parts) {
+      bytes.insert(bytes.end(), part.payload.begin(), part.payload.end());
+    }
+    Message out = p.message;
+    out.payload = PayloadRef(std::move(bytes));
+    partials_.erase(key);
+    return out;
+  }
+
+  bool empty() const noexcept { return partials_.empty(); }
+
+ private:
+  struct Part {
+    PayloadRef payload;
+    bool received = false;
+  };
+  struct Partial {
+    Message message;  // src/dst/tag of the original, payload unset
+    std::vector<Part> parts;
+    std::size_t received = 0;
+    std::size_t bytes = 0;
+  };
+  std::unordered_map<std::uint64_t, Partial> partials_;
+};
 
 }  // namespace
 
@@ -56,14 +147,55 @@ std::vector<Message> route_via_random_intermediate(MachineContext& ctx,
                                                    std::vector<Message> msgs) {
   const std::size_t k = ctx.k();
   const auto self = static_cast<std::uint32_t>(ctx.id());
+  // Lemma 13 assumes unit-size messages; a payload larger than one
+  // round's per-link budget would turn its two links into hot spots no
+  // matter how random the intermediate is.  Such messages are split into
+  // chunks, each routed via its own random intermediate and reassembled
+  // at the destination.
+  const std::size_t budget_bytes = std::max<std::size_t>(
+      1, static_cast<std::size_t>(ctx.config().bandwidth_bits / 8));
+
   // Hop 1: wrap each message in an envelope and send to a random machine.
   // A message whose random intermediate equals the final destination (or
   // ourselves) is forwarded directly/held locally to save a pointless hop.
   std::vector<Message> hold;  // intermediate == self, or destination == self
+  std::vector<std::pair<std::uint32_t, PayloadRef>> hold_chunks;
+  std::uint64_t next_seq = 0;
   for (auto& m : msgs) {
     if (m.dst == ctx.id()) {
       m.src = self;
       hold.push_back(std::move(m));
+      continue;
+    }
+    if (m.payload.size() > budget_bytes) {
+      // Chunk payloads are sized so the whole network message — message
+      // header plus chunk-envelope varints plus chunk bytes — fits one
+      // round's budget on its link; without this deduction a "budget-
+      // sized" chunk still costs two rounds.  The index/count varints
+      // are bounded by varint_size(payload) since every chunk carries at
+      // least one byte.
+      const std::size_t envelope_bytes =
+          Message::kHeaderBits / 8 + varint_size(m.dst) +
+          varint_size(m.tag) + varint_size(self) + varint_size(next_seq) +
+          2 * varint_size(m.payload.size());
+      const std::size_t chunk_bytes =
+          budget_bytes > envelope_bytes ? budget_bytes - envelope_bytes : 1;
+      const std::size_t count = ceil_div(m.payload.size(), chunk_bytes);
+      const std::uint64_t seq = next_seq++;
+      for (std::size_t c = 0; c < count; ++c) {
+        const std::size_t offset = c * chunk_bytes;
+        const std::size_t len =
+            std::min(chunk_bytes, m.payload.size() - offset);
+        PayloadRef env =
+            make_chunk_envelope(m.dst, m.tag, self, seq, c, count,
+                                m.payload.view().subspan(offset, len));
+        const std::size_t via = ctx.rng().below(k);
+        if (via == ctx.id()) {
+          hold_chunks.emplace_back(m.dst, std::move(env));
+        } else {
+          ctx.send(via, kRouteChunkTag, std::move(env));
+        }
+      }
       continue;
     }
     const std::size_t via = ctx.rng().below(k);
@@ -81,16 +213,30 @@ std::vector<Message> route_via_random_intermediate(MachineContext& ctx,
   // Hop 2: forward everything that stopped here; keep what is for us.
   // Forwarding reuses the original envelope bytes (a shared PayloadRef) —
   // no re-serialization on the relay, and only the leading dst varint is
-  // decoded to route it.
+  // peeked to route it; the tag distinguishes whole envelopes from
+  // chunks, and travels with the forward.
+  ChunkReassembler reassembler;
   std::vector<Message> result;
+  const auto consume = [&](Message&& env) {
+    if (env.tag == kRouteChunkTag) {
+      if (auto done = reassembler.add(std::move(env))) {
+        result.push_back(std::move(*done));
+      }
+    } else {
+      result.push_back(decode_envelope(std::move(env)));
+    }
+  };
   for (auto& env : ctx.exchange()) {
     Reader peek(env.payload);
     const auto dst = static_cast<std::uint32_t>(peek.get_varint());
     if (dst == ctx.id()) {
-      result.push_back(decode_envelope(std::move(env)));
+      consume(std::move(env));
     } else {
-      ctx.send(dst, kRouteEnvelopeTag, std::move(env.payload));
+      ctx.send(dst, env.tag, std::move(env.payload));
     }
+  }
+  for (auto& [dst, env] : hold_chunks) {
+    ctx.send(dst, kRouteChunkTag, std::move(env));  // dst != self by split
   }
   for (auto& m : hold) {
     if (m.dst == ctx.id()) {
@@ -101,7 +247,12 @@ std::vector<Message> route_via_random_intermediate(MachineContext& ctx,
     }
   }
   for (auto& env : ctx.exchange()) {
-    result.push_back(decode_envelope(std::move(env)));
+    consume(std::move(env));
+  }
+  if (!reassembler.empty()) {
+    throw std::logic_error(
+        "route_via_random_intermediate: chunked message left incomplete "
+        "after hop 2");
   }
   return result;
 }

@@ -30,6 +30,17 @@ std::vector<Message> route_direct(MachineContext& ctx,
 /// bytes.  Delivered messages report the *original* sender in src, not
 /// the relay; the relay forwards the hop-1 envelope bytes verbatim (a
 /// shared PayloadRef), so nothing is re-serialized on hop 2.
+///
+/// Lemma 13's premise is unit-size messages; a payload larger than one
+/// round's per-link budget (B/8 bytes) would keep its two links congested
+/// however random the intermediate.  Such messages are therefore split
+/// into chunks — sized so chunk bytes plus the chunk envelope fit a
+/// single round's budget — each sent via its *own* random intermediate
+/// (tag kRouteChunkTag carries (origin, seq, index, count) for
+/// reassembly), and spliced back together at the destination before being
+/// returned — callers still see exactly one delivered message with the
+/// original src/tag/payload.  Messages at or under the budget use the
+/// plain envelope, bit-for-bit as before.
 std::vector<Message> route_via_random_intermediate(MachineContext& ctx,
                                                    std::vector<Message> msgs);
 

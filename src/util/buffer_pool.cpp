@@ -1,5 +1,7 @@
 #include "util/buffer_pool.hpp"
 
+#include <atomic>
+#include <mutex>
 #include <utility>
 
 namespace km {
@@ -10,12 +12,56 @@ constexpr std::size_t kMaxPooledBuffers = 256;
 constexpr std::size_t kMaxBufferCapacity = std::size_t{1} << 20;   // 1 MiB
 constexpr std::size_t kMaxPooledBytes = std::size_t{8} << 20;      // 8 MiB
 
+// Per-thread counter cell.  Relaxed atomics on a thread-private cache
+// line: writes cost a plain increment, while buffer_pool_counters() can
+// read other threads' cells without a data race.
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> recycled{0};
+  std::atomic<std::uint64_t> evicted{0};
+  std::atomic<std::uint64_t> evicted_bytes{0};
+  std::atomic<std::uint64_t> pooled_buffers{0};
+  std::atomic<std::uint64_t> pooled_bytes{0};
+};
+
+// Registry of live cells plus totals retired by exited threads.  The
+// mutex guards only registration, retirement, and the aggregate read —
+// never the pool hot path.
+struct Registry {
+  std::mutex mutex;
+  std::vector<const CounterCell*> live;
+  BufferPoolCounters retired;  // gauges stay 0: a dead pool holds nothing
+};
+
+Registry& registry() noexcept {
+  static Registry reg;
+  return reg;
+}
+
 struct Pool {
-  Pool() { buffers.reserve(kMaxPooledBuffers); }
-  ~Pool() { destroyed = true; }
+  Pool() {
+    buffers.reserve(kMaxPooledBuffers);
+    auto& reg = registry();
+    const std::scoped_lock lock(reg.mutex);
+    reg.live.push_back(&cell);
+  }
+  ~Pool() {
+    destroyed = true;
+    auto& reg = registry();
+    const std::scoped_lock lock(reg.mutex);
+    reg.retired.hits += cell.hits.load(std::memory_order_relaxed);
+    reg.retired.misses += cell.misses.load(std::memory_order_relaxed);
+    reg.retired.recycled += cell.recycled.load(std::memory_order_relaxed);
+    reg.retired.evicted += cell.evicted.load(std::memory_order_relaxed);
+    reg.retired.evicted_bytes +=
+        cell.evicted_bytes.load(std::memory_order_relaxed);
+    std::erase(reg.live, &cell);
+  }
   std::vector<std::vector<std::byte>> buffers;
   std::size_t pooled_bytes = 0;  // sum of capacities held
   bool destroyed = false;        // guards late releases at thread exit
+  CounterCell cell;
 };
 
 Pool& local_pool() noexcept {
@@ -23,29 +69,66 @@ Pool& local_pool() noexcept {
   return pool;
 }
 
+void bump(std::atomic<std::uint64_t>& counter, std::uint64_t by = 1) noexcept {
+  counter.fetch_add(by, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 std::vector<std::byte> acquire_buffer() noexcept {
   Pool& pool = local_pool();
-  if (pool.destroyed || pool.buffers.empty()) return {};
+  if (pool.destroyed || pool.buffers.empty()) {
+    if (!pool.destroyed) bump(pool.cell.misses);
+    return {};
+  }
   std::vector<std::byte> buf = std::move(pool.buffers.back());
   pool.buffers.pop_back();
   pool.pooled_bytes -= buf.capacity();
+  bump(pool.cell.hits);
+  pool.cell.pooled_buffers.store(pool.buffers.size(),
+                                 std::memory_order_relaxed);
+  pool.cell.pooled_bytes.store(pool.pooled_bytes, std::memory_order_relaxed);
   return buf;
 }
 
 void recycle_buffer(std::vector<std::byte>&& buf) noexcept {
   Pool& pool = local_pool();
-  if (pool.destroyed || buf.capacity() == 0 ||
-      buf.capacity() > kMaxBufferCapacity ||
+  if (pool.destroyed || buf.capacity() == 0) {
+    return;  // nothing to account: no storage changes hands
+  }
+  if (buf.capacity() > kMaxBufferCapacity ||
       pool.buffers.size() >= kMaxPooledBuffers ||
       pool.pooled_bytes + buf.capacity() > kMaxPooledBytes) {
+    bump(pool.cell.evicted);
+    bump(pool.cell.evicted_bytes, buf.capacity());
     return;  // not adopted: the caller's vector frees the storage
   }
   buf.clear();
   pool.pooled_bytes += buf.capacity();
   // Never reallocates: the vector was reserved to kMaxPooledBuffers.
   pool.buffers.push_back(std::move(buf));
+  bump(pool.cell.recycled);
+  pool.cell.pooled_buffers.store(pool.buffers.size(),
+                                 std::memory_order_relaxed);
+  pool.cell.pooled_bytes.store(pool.pooled_bytes, std::memory_order_relaxed);
+}
+
+BufferPoolCounters buffer_pool_counters() noexcept {
+  auto& reg = registry();
+  const std::scoped_lock lock(reg.mutex);
+  BufferPoolCounters total = reg.retired;
+  for (const CounterCell* cell : reg.live) {
+    total.hits += cell->hits.load(std::memory_order_relaxed);
+    total.misses += cell->misses.load(std::memory_order_relaxed);
+    total.recycled += cell->recycled.load(std::memory_order_relaxed);
+    total.evicted += cell->evicted.load(std::memory_order_relaxed);
+    total.evicted_bytes +=
+        cell->evicted_bytes.load(std::memory_order_relaxed);
+    total.pooled_buffers +=
+        cell->pooled_buffers.load(std::memory_order_relaxed);
+    total.pooled_bytes += cell->pooled_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 }  // namespace km

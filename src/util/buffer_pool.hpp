@@ -3,23 +3,62 @@
 // The message plane allocates one byte buffer per serialized payload and
 // frees it when the last PayloadRef drops; at millions of messages per
 // second that allocator churn dominates.  acquire_buffer()/recycle_buffer()
-// keep a small per-thread free list of vectors so payload and Writer
-// storage is reused across supersteps.  Buffers recycle into the pool of
-// whichever thread releases them (typically the receiver), which matches
-// the SPMD engine where every machine both sends and receives.
+// keep a small per-thread free list of vectors so payload, Writer, and
+// frame storage is reused across supersteps.  Buffers recycle into the
+// pool of whichever thread releases them (typically the receiver), which
+// matches the SPMD engine where every machine both sends and receives.
+//
+// Every pool op also maintains counters so a workload can tell when it
+// thrashes past the caps (256 buffers, 1 MiB per buffer, 8 MiB per
+// thread): buffer_pool_counters() aggregates the cumulative hit/miss/
+// eviction counts across all threads (live and exited) plus the current
+// occupancy of the live pools.  The counters are per-thread cache lines
+// updated with relaxed atomics, so the hot path never shares a line
+// between threads; Engine::run snapshots them and reports the per-run
+// delta through Metrics::summary.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace km {
+
+/// Cumulative buffer-pool activity (all threads) plus current occupancy
+/// (live threads).  All counts are monotone except the two gauges.
+struct BufferPoolCounters {
+  std::uint64_t hits = 0;          ///< acquires served from a pool
+  std::uint64_t misses = 0;        ///< acquires that fell through (fresh vector)
+  std::uint64_t recycled = 0;      ///< recycles adopted into a pool
+  std::uint64_t evicted = 0;       ///< recycles declined past the caps
+  std::uint64_t evicted_bytes = 0; ///< capacity bytes freed by those declines
+  std::uint64_t pooled_buffers = 0;  ///< gauge: buffers currently held
+  std::uint64_t pooled_bytes = 0;    ///< gauge: capacity bytes currently held
+
+  /// Activity since `start` (cumulative fields subtract; gauges are
+  /// carried over as-is, since occupancy is a point-in-time reading).
+  BufferPoolCounters since(const BufferPoolCounters& start) const noexcept {
+    BufferPoolCounters d = *this;
+    d.hits -= start.hits;
+    d.misses -= start.misses;
+    d.recycled -= start.recycled;
+    d.evicted -= start.evicted;
+    d.evicted_bytes -= start.evicted_bytes;
+    return d;
+  }
+};
 
 /// Pops a recycled buffer (empty, capacity preserved) from the calling
 /// thread's pool, or returns a fresh empty vector when the pool is dry.
 std::vector<std::byte> acquire_buffer() noexcept;
 
 /// Returns storage to the calling thread's pool.  Oversized buffers and
-/// overflow beyond the pool cap are simply freed.
+/// overflow beyond the pool cap are simply freed (counted as evictions).
 void recycle_buffer(std::vector<std::byte>&& buf) noexcept;
+
+/// Aggregated counters over every thread's pool: exited threads' activity
+/// is folded into the total at thread exit; occupancy gauges cover live
+/// pools only.
+BufferPoolCounters buffer_pool_counters() noexcept;
 
 }  // namespace km

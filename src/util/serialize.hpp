@@ -53,6 +53,10 @@ class Writer {
   /// Moves the accumulated buffer out; the Writer is reusable afterwards.
   std::vector<std::byte> take() noexcept;
 
+  /// Discards the accumulated bytes but keeps the capacity, so a Writer
+  /// reused across messages appends without reallocating.
+  void clear() noexcept { buf_.clear(); }
+
   std::span<const std::byte> view() const noexcept { return buf_; }
 
  private:
@@ -72,6 +76,13 @@ class Reader {
   std::int64_t get_varint_signed();
   double get_double();
 
+  /// Skips `n` payload bytes (e.g. a length-prefixed blob another layer
+  /// will view zero-copy). Throws SerializeError past the end.
+  void skip(std::size_t n) {
+    need(n);
+    pos_ += n;
+  }
+
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
   bool done() const noexcept { return pos_ == data_.size(); }
 
@@ -84,5 +95,10 @@ class Reader {
 
 /// Number of bytes a varint encoding of v occupies (for cost estimates).
 std::size_t varint_size(std::uint64_t v) noexcept;
+
+/// Appends the LEB128 varint encoding of v to a raw byte buffer (the
+/// Writer-free flavor, for builders that own their storage — e.g. the
+/// message plane's per-link frames).
+void append_varint(std::vector<std::byte>& buf, std::uint64_t v);
 
 }  // namespace km

@@ -1,0 +1,131 @@
+// Tests for util/buffer_pool.hpp: recycling behaviour and the
+// occupancy/overflow counters, including driving a pool past its three
+// caps (256 buffers, 1 MiB per buffer, 8 MiB per thread) and asserting
+// the eviction accounting.  Cap arithmetic needs a pool in a known-empty
+// state, so cap tests run on a fresh thread (thread-local pools start
+// empty); counters are global, and nothing else runs concurrently here.
+#include "util/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sim/engine.hpp"
+
+namespace km {
+namespace {
+
+constexpr std::size_t kMiB = std::size_t{1} << 20;
+
+// Runs `body` on a brand-new thread, whose thread-local pool starts
+// empty, and joins it so all counter updates are visible.
+template <typename F>
+void on_fresh_thread(F&& body) {
+  std::thread t(std::forward<F>(body));
+  t.join();
+}
+
+TEST(BufferPool, MissRecycleHitRoundTrip) {
+  on_fresh_thread([] {
+    const auto before = buffer_pool_counters();
+    std::vector<std::byte> buf = acquire_buffer();  // fresh pool: a miss
+    EXPECT_EQ(buf.capacity(), 0u);
+    buf.reserve(512);
+    recycle_buffer(std::move(buf));                 // adopted
+    std::vector<std::byte> again = acquire_buffer();  // served from pool
+    EXPECT_GE(again.capacity(), 512u);
+    EXPECT_TRUE(again.empty()) << "recycled buffers come back cleared";
+    const auto d = buffer_pool_counters().since(before);
+    EXPECT_EQ(d.misses, 1u);
+    EXPECT_EQ(d.recycled, 1u);
+    EXPECT_EQ(d.hits, 1u);
+    EXPECT_EQ(d.evicted, 0u);
+  });
+}
+
+TEST(BufferPool, EmptyBuffersAreNotAccounted) {
+  on_fresh_thread([] {
+    const auto before = buffer_pool_counters();
+    recycle_buffer(std::vector<std::byte>{});  // no storage changes hands
+    const auto d = buffer_pool_counters().since(before);
+    EXPECT_EQ(d.recycled, 0u);
+    EXPECT_EQ(d.evicted, 0u);
+  });
+}
+
+TEST(BufferPool, OversizedBufferIsEvicted) {
+  on_fresh_thread([] {
+    const auto before = buffer_pool_counters();
+    std::vector<std::byte> big;
+    big.reserve(kMiB + 1);  // just past the 1 MiB per-buffer cap
+    recycle_buffer(std::move(big));
+    const auto d = buffer_pool_counters().since(before);
+    EXPECT_EQ(d.recycled, 0u);
+    EXPECT_EQ(d.evicted, 1u);
+    EXPECT_GE(d.evicted_bytes, kMiB + 1);
+  });
+}
+
+TEST(BufferPool, TotalBytesCapEvictsOverflow) {
+  on_fresh_thread([] {
+    const auto before = buffer_pool_counters();
+    // Nine 1 MiB buffers against the 8 MiB per-thread cap: the first
+    // eight are adopted, the ninth bounces.
+    for (int i = 0; i < 9; ++i) {
+      std::vector<std::byte> buf;
+      buf.reserve(kMiB);
+      recycle_buffer(std::move(buf));
+    }
+    const auto after = buffer_pool_counters();
+    const auto d = after.since(before);
+    EXPECT_EQ(d.recycled, 8u);
+    EXPECT_EQ(d.evicted, 1u);
+    EXPECT_GE(d.evicted_bytes, kMiB);
+    // Occupancy gauges see this thread's pool while it is alive.
+    EXPECT_GE(after.pooled_bytes, before.pooled_bytes + 8 * kMiB);
+    EXPECT_GE(after.pooled_buffers, before.pooled_buffers + 8);
+  });
+  // The fresh thread exited: its pool (and gauge contribution) is gone,
+  // but its cumulative activity must have been folded into the totals.
+  const auto total = buffer_pool_counters();
+  EXPECT_GE(total.recycled, 8u);
+}
+
+TEST(BufferPool, BufferCountCapEvictsOverflow) {
+  on_fresh_thread([] {
+    const auto before = buffer_pool_counters();
+    // 300 tiny buffers against the 256-buffer cap.
+    for (int i = 0; i < 300; ++i) {
+      std::vector<std::byte> buf;
+      buf.reserve(64);
+      recycle_buffer(std::move(buf));
+    }
+    const auto d = buffer_pool_counters().since(before);
+    EXPECT_EQ(d.recycled, 256u);
+    EXPECT_EQ(d.evicted, 44u);
+    EXPECT_EQ(d.evicted_bytes, 44u * 64u);
+  });
+}
+
+TEST(BufferPool, EngineRunReportsPoolDelta) {
+  // The engine snapshots the counters around a run and surfaces the
+  // delta through Metrics: a message-heavy run must show pool traffic,
+  // and the summary must carry the counters.
+  Engine engine(4, {.bandwidth_bits = 1 << 14, .seed = 3});
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    for (int step = 0; step < 8; ++step) {
+      Writer w;
+      for (int i = 0; i < 64; ++i) w.put_varint(static_cast<unsigned>(i));
+      ctx.broadcast(1, w);
+      ctx.exchange();
+    }
+  });
+  EXPECT_GT(metrics.pool.hits + metrics.pool.misses, 0u);
+  const std::string summary = metrics.summary();
+  EXPECT_NE(summary.find("pool_hits="), std::string::npos) << summary;
+  EXPECT_NE(summary.find("pool_evicted_bytes="), std::string::npos)
+      << summary;
+}
+
+}  // namespace
+}  // namespace km

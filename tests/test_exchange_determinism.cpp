@@ -204,6 +204,203 @@ TEST(PayloadRef, EmptyPayloadHasNoOwner) {
   EXPECT_EQ(Message{}.size_bits(), Message::kHeaderBits);
 }
 
+// ---------------------------------------------------------------------------
+// Per-link frame batching
+// ---------------------------------------------------------------------------
+
+// Sender and receiver independently recompute each link's message plan
+// from pure hashes, so the receiver can verify counts, order, and bytes
+// with no shared state.  Sizes deliberately straddle
+// kFramedPayloadMaxBytes so framed and unframed messages interleave on
+// every link.
+struct PlannedMessage {
+  std::size_t size;
+  std::uint64_t seed;
+};
+
+std::vector<PlannedMessage> link_plan(std::uint64_t trial, int step,
+                                      std::size_t src, std::size_t dst) {
+  Rng plan(mix64(trial * 7919 + static_cast<std::uint64_t>(step),
+                 src * 4099 + dst));
+  static constexpr std::size_t kSizes[] = {0,   1,   7,   33,  128,
+                                           255, 256, 257, 300, 600};
+  std::vector<PlannedMessage> out(plan.below(5));
+  for (auto& m : out) {
+    m.size = kSizes[plan.below(std::size(kSizes))];
+    m.seed = plan.next();
+  }
+  return out;
+}
+
+std::vector<std::byte> pattern_bytes(std::uint64_t seed, std::size_t len) {
+  Rng g(seed);
+  std::vector<std::byte> bytes(len);
+  for (auto& b : bytes) b = static_cast<std::byte>(g.next() & 0xff);
+  return bytes;
+}
+
+TEST(Framing, RandomSizesMatchUnbatchedAccountingAndOrder) {
+  // The frame batching property test: random message sizes/counts per
+  // link, several supersteps.  Delivery must preserve ascending source
+  // and per-link send order with exact bytes, and every superstep's
+  // rounds/bits/max_link_bits must equal the *unbatched* formula
+  // (sum per message of kHeaderBits + 8 * payload), i.e. batching is
+  // invisible to the cost model.
+  constexpr std::size_t kMachines = 6;
+  constexpr int kSupersteps = 4;
+  constexpr std::uint64_t kBandwidth = 2048;
+  for (std::uint64_t trial = 1; trial <= 3; ++trial) {
+    Engine engine(kMachines, {.bandwidth_bits = kBandwidth,
+                              .seed = trial,
+                              .record_timeline = true});
+    const auto metrics = engine.run([&](MachineContext& ctx) {
+      for (int step = 0; step < kSupersteps; ++step) {
+        for (std::size_t dst = 0; dst < kMachines; ++dst) {
+          if (dst == ctx.id()) continue;
+          for (const auto& m : link_plan(trial, step, ctx.id(), dst)) {
+            Writer w;
+            w.put_bytes(pattern_bytes(m.seed, m.size));
+            ctx.send(dst, static_cast<std::uint16_t>(m.size % 7), w);
+          }
+        }
+        const auto in = ctx.exchange();
+        // Expected inbox: ascending src, send order within each src.
+        std::size_t pos = 0;
+        for (std::size_t src = 0; src < kMachines; ++src) {
+          if (src == ctx.id()) continue;
+          for (const auto& m : link_plan(trial, step, src, ctx.id())) {
+            ASSERT_LT(pos, in.size());
+            const Message& got = in[pos++];
+            ASSERT_EQ(got.src, src);
+            ASSERT_EQ(got.tag, static_cast<std::uint16_t>(m.size % 7));
+            ASSERT_EQ(got.payload.size(), m.size);
+            const auto want = pattern_bytes(m.seed, m.size);
+            ASSERT_TRUE(std::equal(want.begin(), want.end(),
+                                   got.payload.begin(), got.payload.end()))
+                << "payload bytes corrupted (src=" << src
+                << " size=" << m.size << ")";
+          }
+        }
+        ASSERT_EQ(pos, in.size()) << "unexpected extra messages";
+      }
+    });
+    // Recompute the unbatched formula from the plans and compare the
+    // per-superstep timeline bit for bit.
+    ASSERT_EQ(metrics.timeline.size(),
+              static_cast<std::size_t>(kSupersteps));
+    for (int step = 0; step < kSupersteps; ++step) {
+      std::uint64_t bits = 0, msgs = 0, max_link = 0;
+      for (std::size_t src = 0; src < kMachines; ++src) {
+        for (std::size_t dst = 0; dst < kMachines; ++dst) {
+          if (src == dst) continue;
+          std::uint64_t link_bits = 0;
+          for (const auto& m : link_plan(trial, step, src, dst)) {
+            link_bits += Message::kHeaderBits + 8 * m.size;
+            ++msgs;
+          }
+          bits += link_bits;
+          max_link = std::max(max_link, link_bits);
+        }
+      }
+      const auto& t = metrics.timeline[static_cast<std::size_t>(step)];
+      EXPECT_EQ(t.messages, msgs) << "step " << step;
+      EXPECT_EQ(t.bits, bits) << "step " << step;
+      EXPECT_EQ(t.max_link_bits, max_link) << "step " << step;
+      const std::uint64_t rounds =
+          msgs == 0 ? 0
+                    : std::max<std::uint64_t>(
+                          1, (max_link + kBandwidth - 1) / kBandwidth);
+      EXPECT_EQ(t.rounds, rounds) << "step " << step;
+    }
+  }
+}
+
+TEST(Framing, SmallPayloadsShareOneFrameBufferPerLink) {
+  // Transport-level zero-copy: from the second small message of a
+  // (src, dst, superstep) onward, payloads are slices of a single frame
+  // buffer.  The link's first message takes the classic zero-copy path
+  // (nothing to amortize the copy against), and a payload past the
+  // framing threshold always gets its own buffer.
+  Engine engine(2, {.bandwidth_bits = 1 << 16, .seed = 5});
+  engine.run([&](MachineContext& ctx) {
+    if (ctx.id() == 0) {
+      for (std::uint64_t i = 0; i < 3; ++i) {
+        Writer w;
+        w.put_varint(i);
+        ctx.send(1, 1, w);
+      }
+      Writer big;
+      big.put_bytes(std::vector<std::byte>(kFramedPayloadMaxBytes + 1,
+                                           std::byte{0x42}));
+      ctx.send(1, 2, big);
+    }
+    const auto in = ctx.exchange();
+    if (ctx.id() == 1) {
+      ASSERT_EQ(in.size(), 4u);
+      EXPECT_FALSE(in[0].payload.shares_buffer_with(in[1].payload))
+          << "a link's first message is not framed";
+      EXPECT_TRUE(in[1].payload.shares_buffer_with(in[2].payload))
+          << "second and later small messages share the link frame";
+      EXPECT_FALSE(in[3].payload.shares_buffer_with(in[1].payload))
+          << "oversized payloads must not ride the frame";
+      for (std::uint64_t i = 0; i < 3; ++i) {
+        Reader r(in[i].payload);
+        EXPECT_EQ(r.get_varint(), i);
+      }
+      EXPECT_EQ(in[3].payload.size(), kFramedPayloadMaxBytes + 1);
+    } else {
+      EXPECT_TRUE(in.empty());
+    }
+  });
+}
+
+TEST(Framing, EmptyAndThresholdBoundaryPayloads) {
+  // Sizes 0, 1, exactly-at-threshold, and one-past-threshold all round-
+  // trip, and total bits match the unbatched formula.
+  const std::vector<std::size_t> sizes = {0, 1, kFramedPayloadMaxBytes,
+                                          kFramedPayloadMaxBytes + 1};
+  Engine engine(2, {.bandwidth_bits = 1 << 16, .seed = 6});
+  const auto metrics = engine.run([&](MachineContext& ctx) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      Writer w;
+      w.put_bytes(std::vector<std::byte>(sizes[i],
+                                         std::byte{static_cast<unsigned char>(
+                                             0x10 + i)}));
+      ctx.send(1 - ctx.id(), static_cast<std::uint16_t>(i), w);
+    }
+    const auto in = ctx.exchange();
+    ASSERT_EQ(in.size(), sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      EXPECT_EQ(in[i].tag, i);
+      ASSERT_EQ(in[i].payload.size(), sizes[i]);
+      for (const std::byte b : in[i].payload) {
+        ASSERT_EQ(b, std::byte{static_cast<unsigned char>(0x10 + i)});
+      }
+    }
+  });
+  std::uint64_t want_bits = 0;
+  for (const std::size_t s : sizes) {
+    want_bits += 2 * (Message::kHeaderBits + 8 * s);  // both directions
+  }
+  EXPECT_EQ(metrics.bits, want_bits);
+}
+
+TEST(PayloadRef, SliceIsZeroCopy) {
+  Writer w;
+  for (std::uint8_t i = 0; i < 16; ++i) w.put_u8(i);
+  PayloadRef whole(w.take());
+  const PayloadRef mid = whole.slice(4, 8);
+  EXPECT_TRUE(mid.shares_buffer_with(whole));
+  EXPECT_EQ(mid.data(), whole.data() + 4);
+  ASSERT_EQ(mid.size(), 8u);
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(mid.view()[i], std::byte{static_cast<unsigned char>(i + 4)});
+  }
+  // Clamped: offset past the end is empty, length clamps to the view.
+  EXPECT_EQ(whole.slice(100, 4).size(), 0u);
+  EXPECT_EQ(whole.slice(12, 100).size(), 4u);
+}
+
 TEST(PayloadRef, OutlivesTheEngineRun) {
   // A receiver may keep payloads after the engine run tears down all
   // machine state; the ref count must keep the buffer alive.
