@@ -1,0 +1,189 @@
+// Sketch-based connectivity & MST: round complexity and local-kernel
+// throughput.
+//
+// Paper claim (Section 1.3 / [51]): connectivity and MST run in
+// Õ(n/k²) rounds using linear graph sketches — *independent of m* —
+// against the Ω̃(n/k²) General Lower Bound and the trivial Õ(n/k)
+// centralization baseline.  This bench prints measured rounds for the
+// sketch algorithm next to the baseline over the k-grid (the fitted
+// slopes land around -1.3 vs -0.9 at bench scale; test_round_bounds.cpp
+// explains the finite-size gap to the -2 asymptote), plus the edge-
+// density series where the separation is starkest, and the raw
+// build/merge/sample throughput of the ℓ₀ machinery itself.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/connectivity.hpp"
+#include "core/sketch.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace km;
+
+constexpr std::uint64_t kBandwidth = 512;
+
+const Graph& sparse_graph(std::size_t n) {
+  static std::map<std::size_t, Graph> cache;
+  const auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  Rng rng(1200 + n);
+  return cache.emplace(n, gnp(n, 8.0 / static_cast<double>(n), rng))
+      .first->second;
+}
+
+void BM_SketchConnectivityRounds(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t n = 1024;
+  const Graph& g = sparse_graph(n);
+  Metrics metrics;
+  std::size_t phases = 0;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = kBandwidth, .seed = 19});
+    const auto part = VertexPartition::by_hash(n, k, 42);
+    const auto res = sketch_connectivity(g, part, engine, {.seed = 23});
+    metrics = res.metrics;
+    phases = res.phases;
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  state.counters["phases"] = static_cast<double>(phases);
+  bench::SeriesTable::instance().add("connectivity/sketch (rounds)",
+                                     static_cast<double>(k),
+                                     static_cast<double>(metrics.rounds));
+}
+BENCHMARK(BM_SketchConnectivityRounds)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_BaselineConnectivityRounds(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t n = 1024;
+  const Graph& g = sparse_graph(n);
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = kBandwidth, .seed = 19});
+    const auto part = VertexPartition::by_hash(n, k, 42);
+    metrics = centralized_connectivity_baseline(g, part, engine).metrics;
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  bench::SeriesTable::instance().add("connectivity/baseline (rounds)",
+                                     static_cast<double>(k),
+                                     static_cast<double>(metrics.rounds));
+}
+BENCHMARK(BM_BaselineConnectivityRounds)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Edge-density series: rounds vs m at fixed n, k.  The sketch curve is
+// flat (communication is a function of n), the baseline pays per edge.
+void BM_DensitySeries(benchmark::State& state) {
+  const double p = static_cast<double>(state.range(0)) / 1000.0;
+  constexpr std::size_t n = 512;
+  constexpr std::size_t k = 8;
+  Rng rng(77);
+  const Graph g = gnp(n, p, rng);
+  Metrics sketch, base;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = kBandwidth, .seed = 5});
+    const auto part = VertexPartition::by_hash(n, k, 42);
+    sketch = sketch_connectivity(g, part, engine, {.seed = 29}).metrics;
+    Engine engine2(k, {.bandwidth_bits = kBandwidth, .seed = 5});
+    base = centralized_connectivity_baseline(g, part, engine2).metrics;
+  }
+  const auto m = static_cast<double>(g.num_edges());
+  state.counters["m"] = m;
+  state.counters["sketch_rounds"] = static_cast<double>(sketch.rounds);
+  state.counters["baseline_rounds"] = static_cast<double>(base.rounds);
+  auto& t = bench::SeriesTable::instance();
+  t.add("connectivity/sketch vs m (rounds)", m,
+        static_cast<double>(sketch.rounds));
+  t.add("connectivity/baseline vs m (rounds)", m,
+        static_cast<double>(base.rounds));
+}
+BENCHMARK(BM_DensitySeries)->Arg(8)->Arg(30)->Arg(120)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_SketchMstRounds(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t n = 256;
+  static const WeightedGraph g = [] {
+    Rng rng(910);
+    return WeightedGraph::randomize_weights(gnp(n, 8.0 / n, rng), 1u << 16,
+                                            rng);
+  }();
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(k, {.bandwidth_bits = kBandwidth, .seed = 21});
+    const auto part = VertexPartition::by_hash(n, k, 42);
+    metrics = sketch_mst(g, part, engine, {.seed = 31}).metrics;
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  bench::SeriesTable::instance().add("mst/sketch-threshold (rounds)",
+                                     static_cast<double>(k),
+                                     static_cast<double>(metrics.rounds));
+}
+BENCHMARK(BM_SketchMstRounds)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// ---- Local kernels: the per-phase CPU cost of the sketch machinery ----
+
+void BM_SketchBuildThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = sparse_graph(n);
+  const EdgeIdCodec codec(n);
+  const L0SketchShape shape{.id_bits = codec.id_bits(), .rows = 4, .seed = 3};
+  std::size_t arcs = 0;
+  for (auto _ : state) {
+    for (Vertex v = 0; v < n; ++v) {
+      L0Sketch sketch(shape);
+      for (const Vertex nb : g.neighbors(v)) {
+        sketch.add(codec.encode(v, nb), EdgeIdCodec::sign_for(v, nb));
+      }
+      benchmark::DoNotOptimize(sketch);
+      arcs += g.neighbors(v).size();
+    }
+  }
+  state.counters["edge_adds/s"] = benchmark::Counter(
+      static_cast<double>(arcs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SketchBuildThroughput)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SketchMergeSampleThroughput(benchmark::State& state) {
+  constexpr std::size_t n = 1024;
+  const Graph& g = sparse_graph(n);
+  const EdgeIdCodec codec(n);
+  const L0SketchShape shape{.id_bits = codec.id_bits(), .rows = 4, .seed = 5};
+  std::vector<L0Sketch> parts;
+  parts.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    L0Sketch sketch(shape);
+    for (const Vertex nb : g.neighbors(v)) {
+      sketch.add(codec.encode(v, nb), EdgeIdCodec::sign_for(v, nb));
+    }
+    parts.push_back(std::move(sketch));
+  }
+  std::size_t merges = 0;
+  for (auto _ : state) {
+    L0Sketch folded(shape);
+    for (const L0Sketch& part : parts) folded.merge(part);
+    auto sample = folded.sample();
+    benchmark::DoNotOptimize(sample);
+    merges += parts.size();
+  }
+  state.counters["merges/s"] = benchmark::Counter(
+      static_cast<double>(merges), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SketchMergeSampleThroughput)->Unit(benchmark::kMillisecond);
+
+struct RegisterExpectations {
+  RegisterExpectations() {
+    auto& t = bench::SeriesTable::instance();
+    t.expect_slope("connectivity/sketch (rounds)", -2.0);
+    t.expect_slope("connectivity/baseline (rounds)", -1.0);
+    t.expect_slope("connectivity/sketch vs m (rounds)", 0.0);
+    t.expect_slope("connectivity/baseline vs m (rounds)", 1.0);
+  }
+} register_expectations;
+
+}  // namespace
+
+KM_BENCH_MAIN("k machines")

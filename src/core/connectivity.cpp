@@ -1,0 +1,563 @@
+#include "core/connectivity.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/sketch.hpp"
+#include "util/hash.hpp"
+#include "util/mathx.hpp"
+
+namespace km {
+
+namespace {
+
+constexpr std::uint16_t kSketchTag = 1;      // (label, L0 cells)
+constexpr std::uint16_t kMoeCellTag = 2;     // (label, 1-sparse cell)
+constexpr std::uint16_t kIntervalTag = 3;    // (label, lo, hi, dead)
+constexpr std::uint16_t kLabelQueryTag = 4;  // (vertex)
+constexpr std::uint16_t kLabelReplyTag = 5;  // (vertex, label)
+constexpr std::uint16_t kRootQueryTag = 6;   // (label)
+constexpr std::uint16_t kRootReplyTag = 7;   // (label, root, finished)
+constexpr std::uint16_t kEdgeShipTag = 8;    // baseline: (u, v)
+constexpr std::uint16_t kLabelShipTag = 9;   // baseline: labels, owned order
+
+/// An outgoing edge a proxy established for a component this phase.
+struct FoundEdge {
+  Vertex a = 0;
+  Vertex b = 0;
+  std::uint64_t weight = 0;
+};
+
+/// Both sketch algorithms share one Borůvka driver; the only difference
+/// is how a component's proxy obtains an outgoing edge each phase.
+enum class EdgeFind {
+  kL0Sample,   ///< ℓ₀-sample any crossing edge (connectivity)
+  kMoeSearch,  ///< exact min-key crossing edge via threshold search (MST)
+};
+
+DistributedMstResult run_sketch_boruvka(const Graph* ug,
+                                        const WeightedGraph* wg,
+                                        const VertexPartition& part,
+                                        Engine& engine,
+                                        const SketchConnectivityConfig& cfg) {
+  const EdgeFind find_mode = wg ? EdgeFind::kMoeSearch : EdgeFind::kL0Sample;
+  const std::size_t n = wg ? wg->num_vertices() : ug->num_vertices();
+  const std::size_t k = engine.k();
+  if (part.n() != n || part.k() != k) {
+    throw std::invalid_argument(
+        "sketch connectivity: partition does not match graph/k");
+  }
+  const EdgeIdCodec codec(n);
+  const std::uint32_t id_bits = codec.id_bits();
+  const std::size_t max_phases =
+      cfg.max_phases != 0
+          ? cfg.max_phases
+          : 4 * std::size_t{ceil_log2(std::max<std::uint64_t>(n, 2))} + 16;
+  // MST keys live in 64 - id_bits bits above the edge id, and the search
+  // arithmetic needs maxkey + 1 to not wrap: cap keys below 2^63.  Past
+  // 2^31 vertices there is no headroom left for any weight bits (and the
+  // shift below would be UB), so refuse up front.
+  if (find_mode == EdgeFind::kMoeSearch && id_bits >= 63) {
+    throw std::invalid_argument(
+        "sketch_mst: graph too large for the 63-bit weight-key budget");
+  }
+  const std::uint64_t max_weight_allowed =
+      id_bits >= 63 ? 0 : (std::uint64_t{1} << (63 - id_bits)) - 1;
+
+  DistributedMstResult result;
+  result.fragment_of.assign(n, 0);
+  std::vector<std::vector<WeightedEdge>> emitted(k);
+  std::vector<std::size_t> phases_by_machine(k, 0);
+
+  const auto proxy_of = [&, proxy_seed = mix64(cfg.seed, 0x9c'e7'0a'17ULL)](
+                            std::uint32_t label) {
+    return static_cast<std::size_t>(hash_vertex(proxy_seed, label) % k);
+  };
+
+  const Program program = [&](MachineContext& ctx) {
+    const std::size_t self = ctx.id();
+    const auto& owned = part.owned(self);
+    std::unordered_map<Vertex, std::size_t> index_of;
+    index_of.reserve(owned.size());
+    for (std::size_t i = 0; i < owned.size(); ++i) index_of[owned[i]] = i;
+
+    const auto neighbors = [&](Vertex v) {
+      return wg ? wg->neighbors(v) : ug->neighbors(v);
+    };
+
+    // frag[i] = component label of owned[i]; a label in `finished` heads
+    // a complete connected component and never changes again.
+    std::vector<std::uint32_t> frag(owned.size());
+    for (std::size_t i = 0; i < owned.size(); ++i) frag[i] = owned[i];
+    std::unordered_set<std::uint32_t> finished;
+
+    // MOE mode: per-vertex incident (key, sign) lists, built once.  The
+    // key packs (weight, edge id) so the key order is exactly
+    // mst_edge_less and every key is unique.
+    std::vector<std::vector<std::pair<std::uint64_t, std::int8_t>>> incident;
+    std::uint64_t max_key = 0;
+    if (find_mode == EdgeFind::kMoeSearch) {
+      incident.resize(owned.size());
+      for (std::size_t i = 0; i < owned.size(); ++i) {
+        const Vertex v = owned[i];
+        const auto ns = wg->neighbors(v);
+        const auto ws = wg->weights(v);
+        incident[i].reserve(ns.size());
+        for (std::size_t j = 0; j < ns.size(); ++j) {
+          if (ws[j] > max_weight_allowed) {
+            throw std::invalid_argument(
+                "sketch_mst: edge weight exceeds the 63-bit key budget");
+          }
+          const std::uint64_t key =
+              (ws[j] << id_bits) | codec.encode(v, ns[j]);
+          incident[i].emplace_back(
+              key, static_cast<std::int8_t>(EdgeIdCodec::sign_for(v, ns[j])));
+          max_key = std::max(max_key, key);
+        }
+      }
+      max_key = ctx.all_reduce_max(max_key);
+    }
+    const std::uint32_t halvings =
+        find_mode == EdgeFind::kMoeSearch ? ceil_log2(max_key + 1) : 0;
+
+    std::size_t phase = 0;
+    bool done = false;
+    while (!done) {
+      if (phase >= max_phases) {
+        throw std::runtime_error(
+            "sketch boruvka: phase budget exhausted without convergence");
+      }
+      const std::uint64_t phase_seed =
+          mix64(cfg.seed, 0xB0'12'34'00ULL + phase);
+      const std::uint64_t z = sketch_fingerprint_base(phase_seed);
+      const auto coin_head = [&](std::uint32_t label) {
+        return (hash_vertex(mix64(phase_seed, 0xC0'11ULL), label) & 1) != 0;
+      };
+
+      // ---- Find stage: one outgoing edge per hosted component. ----
+      std::unordered_map<std::uint32_t, FoundEdge> found;      // proxy side
+      std::unordered_set<std::uint32_t> finished_here;         // proxy side
+      bool any_alive = false;                                  // proxy side
+
+      if (find_mode == EdgeFind::kL0Sample) {
+        const L0SketchShape shape{
+            .id_bits = id_bits, .rows = cfg.rows, .seed = phase_seed};
+        // Pre-aggregate per (machine, label): summing the sketches of
+        // every locally-hosted member costs nothing (linearity), and it
+        // is what keeps the per-link load at Õ(n/k²) — without it, a
+        // nearly-merged graph funnels one sketch per *vertex* into a
+        // single proxy, Θ(n/k) per link.
+        std::unordered_map<std::uint32_t, L0Sketch> partial;
+        for (std::size_t i = 0; i < owned.size(); ++i) {
+          const std::uint32_t c = frag[i];
+          if (finished.contains(c)) continue;
+          const Vertex v = owned[i];
+          L0Sketch& sketch = partial.try_emplace(c, shape).first->second;
+          for (const Vertex nb : neighbors(v)) {
+            sketch.add(codec.encode(v, nb), EdgeIdCodec::sign_for(v, nb));
+          }
+        }
+        std::unordered_map<std::uint32_t, L0Sketch> folded;
+        for (auto& [c, sketch] : partial) {
+          const std::size_t proxy = proxy_of(c);
+          if (proxy == self) {
+            const auto [it, fresh] = folded.try_emplace(c, shape);
+            if (fresh) {
+              it->second = std::move(sketch);
+            } else {
+              it->second.merge(sketch);
+            }
+          } else {
+            Writer w;
+            w.put_varint(c);
+            sketch.serialize(w);
+            ctx.send(proxy, kSketchTag, w);
+          }
+        }
+        partial.clear();
+        for (const Message& msg : ctx.exchange()) {
+          Reader r(msg.payload);
+          const auto c = static_cast<std::uint32_t>(r.get_varint());
+          folded.try_emplace(c, shape).first->second.merge_serialized(r);
+        }
+        for (const auto& [c, sketch] : folded) {
+          if (sketch.empty_whp()) {
+            finished_here.insert(c);
+            continue;
+          }
+          any_alive = true;
+          if (const auto id = sketch.sample()) {
+            const auto [a, b] = codec.decode(*id);
+            if (a < b && b < n) found[c] = FoundEdge{a, b, 0};
+          }
+          // A failed sample leaves the component idle this phase; the
+          // next phase retries with fresh hashes.
+        }
+      } else {
+        // Exponentially-refined threshold search.  Machines keep the
+        // current [lo, hi] per hosted label from the proxy's replies;
+        // iteration 0 spans the full key range (the emptiness test), the
+        // next `halvings` iterations bisect, and the final iteration's
+        // cell is exactly 1-sparse and recovers the MOE.
+        struct Interval {
+          std::uint64_t lo = 0, hi = 0;
+          bool dead = false;
+        };
+        std::unordered_map<std::uint32_t, Interval> ivals;       // machine
+        std::unordered_map<std::uint32_t, Interval> proxy_ival;  // proxy
+        std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
+            senders;  // proxy: machines hosting each label, set at t = 0
+        for (std::size_t i = 0; i < owned.size(); ++i) {
+          const std::uint32_t c = frag[i];
+          if (!finished.contains(c)) {
+            ivals.try_emplace(c, Interval{0, max_key, false});
+          }
+        }
+        // Per-phase fingerprint powers, precomputed once per edge.
+        std::vector<std::vector<std::uint64_t>> fpc(owned.size());
+        for (std::size_t i = 0; i < owned.size(); ++i) {
+          if (finished.contains(frag[i])) continue;
+          fpc[i].reserve(incident[i].size());
+          for (const auto& entry : incident[i]) {
+            fpc[i].push_back(powmod61(z, entry.first));
+          }
+        }
+        const std::uint32_t iterations = 1 + halvings + 1;
+        for (std::uint32_t t = 0; t < iterations; ++t) {
+          // Up: restricted cells pre-aggregated per (machine, label) —
+          // one cell per hosted component, not per vertex, keeping the
+          // per-link load Õ(n/k²) as components grow across machines.
+          std::unordered_map<std::uint32_t, SketchCell> partial;
+          for (std::size_t i = 0; i < owned.size(); ++i) {
+            const std::uint32_t c = frag[i];
+            if (finished.contains(c)) continue;
+            const auto iv = ivals.find(c);
+            if (iv == ivals.end() || iv->second.dead) continue;
+            const std::uint64_t mid =
+                t == 0 ? max_key
+                       : iv->second.lo + (iv->second.hi - iv->second.lo) / 2;
+            SketchCell& cell = partial[c];
+            for (std::size_t j = 0; j < incident[i].size(); ++j) {
+              const auto& [key, sign] = incident[i][j];
+              if (key <= mid) cell.add_prepared(key, sign, fpc[i][j]);
+            }
+          }
+          std::unordered_map<std::uint32_t, SketchCell> folded;
+          std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
+              senders_now;
+          for (const auto& [c, cell] : partial) {
+            const std::size_t proxy = proxy_of(c);
+            if (proxy == self) {
+              folded[c].merge(cell);
+              if (t == 0) {
+                senders_now[c].push_back(static_cast<std::uint32_t>(self));
+              }
+            } else {
+              Writer w;
+              w.put_varint(c);
+              cell.serialize(w);
+              ctx.send(proxy, kMoeCellTag, w);
+            }
+          }
+          for (const Message& msg : ctx.exchange()) {
+            Reader r(msg.payload);
+            const auto c = static_cast<std::uint32_t>(r.get_varint());
+            folded[c].merge(SketchCell::deserialize(r));
+            if (t == 0) senders_now[c].push_back(msg.src);
+          }
+          if (t == 0) {
+            for (auto& [c, who] : senders_now) {
+              std::sort(who.begin(), who.end());
+              who.erase(std::unique(who.begin(), who.end()), who.end());
+              senders[c] = std::move(who);
+            }
+          }
+          // Proxy verdicts.
+          for (auto& [c, cell] : folded) {
+            auto& iv = proxy_ival[c];
+            if (t == 0) {
+              if (cell.is_zero()) {
+                iv.dead = true;
+                finished_here.insert(c);
+              } else {
+                any_alive = true;
+                iv.lo = 0;
+                iv.hi = max_key;
+              }
+            } else if (iv.dead) {
+              continue;
+            } else if (t <= halvings) {
+              const std::uint64_t mid = iv.lo + (iv.hi - iv.lo) / 2;
+              if (!cell.is_zero()) {
+                iv.hi = mid;
+              } else {
+                iv.lo = mid + 1;
+              }
+            } else {
+              // Final iteration: [lo, hi] pinned the MOE key, the
+              // restricted vector is 1-sparse, recovery is exact.
+              const auto key = cell.recover(z, max_key + 1);
+              if (!key) {
+                throw std::logic_error(
+                    "sketch_mst: 1-sparse recovery failed at a pinned MOE");
+              }
+              const auto [a, b] =
+                  codec.decode(*key &
+                               ((std::uint64_t{1} << id_bits) - 1));
+              found[c] = FoundEdge{a, b, *key >> id_bits};
+            }
+          }
+          // Down: updated intervals to every hosting machine (none
+          // needed after the final iteration, but the exchange itself
+          // stays lockstep for every machine).
+          if (t + 1 < iterations) {
+            for (const auto& [c, who] : senders) {
+              const auto iv = proxy_ival.find(c);
+              if (iv == proxy_ival.end()) continue;
+              // A label declared dead was announced in iteration 0's
+              // reply; hosting machines already stopped sending.
+              if (iv->second.dead && t > 0) continue;
+              for (const std::uint32_t m : who) {
+                if (m == self) {
+                  ivals[c] = iv->second;
+                  continue;
+                }
+                Writer w;
+                w.put_varint(c);
+                w.put_varint(iv->second.lo);
+                w.put_varint(iv->second.hi);
+                w.put_u8(iv->second.dead ? 1 : 0);
+                ctx.send(m, kIntervalTag, w);
+              }
+            }
+          }
+          for (const Message& msg : ctx.exchange()) {
+            Reader r(msg.payload);
+            const auto c = static_cast<std::uint32_t>(r.get_varint());
+            Interval iv;
+            iv.lo = r.get_varint();
+            iv.hi = r.get_varint();
+            iv.dead = r.get_u8() != 0;
+            ivals[c] = iv;
+          }
+        }
+      }
+
+      // ---- Label queries: who is on each end of the found edges? ----
+      std::unordered_set<Vertex> query;
+      for (const auto& [c, edge] : found) {
+        query.insert(edge.a);
+        query.insert(edge.b);
+      }
+      std::unordered_map<Vertex, std::uint32_t> vertex_label;
+      for (const Vertex v : query) {
+        const std::size_t home = part.home(v);
+        if (home == self) {
+          vertex_label[v] = frag[index_of.at(v)];
+        } else {
+          Writer w;
+          w.put_varint(v);
+          ctx.send(home, kLabelQueryTag, w);
+        }
+      }
+      for (const Message& msg : ctx.exchange()) {
+        Reader r(msg.payload);
+        const auto v = static_cast<Vertex>(r.get_varint());
+        Writer w;
+        w.put_varint(v);
+        w.put_varint(frag[index_of.at(v)]);
+        ctx.send(msg.src, kLabelReplyTag, w);
+      }
+      for (const Message& msg : ctx.exchange()) {
+        Reader r(msg.payload);
+        const auto v = static_cast<Vertex>(r.get_varint());
+        vertex_label[v] = static_cast<std::uint32_t>(r.get_varint());
+      }
+
+      // ---- Coin-flip hooking: tail components hook into heads. ----
+      std::unordered_map<std::uint32_t, std::uint32_t> new_root;
+      for (const auto& [c, edge] : found) {
+        const std::uint32_t la = vertex_label.at(edge.a);
+        const std::uint32_t lb = vertex_label.at(edge.b);
+        if (la != c && lb != c) continue;  // stale sample: skip safely
+        const std::uint32_t other = la == c ? lb : la;
+        if (other == c) continue;
+        if (!coin_head(c) && coin_head(other)) {
+          new_root[c] = other;
+          if (find_mode == EdgeFind::kMoeSearch) {
+            emitted[self].push_back(WeightedEdge{std::min(edge.a, edge.b),
+                                                 std::max(edge.a, edge.b),
+                                                 edge.weight});
+          }
+        }
+      }
+
+      // ---- Root updates: every machine refreshes its hosted labels. ---
+      std::unordered_map<std::uint32_t, std::pair<std::uint32_t, bool>>
+          root_info;
+      {
+        std::unordered_set<std::uint32_t> distinct;
+        for (const std::uint32_t c : frag) {
+          if (!finished.contains(c)) distinct.insert(c);
+        }
+        for (const std::uint32_t c : distinct) {
+          const std::size_t proxy = proxy_of(c);
+          if (proxy == self) {
+            const auto it = new_root.find(c);
+            root_info[c] = {it == new_root.end() ? c : it->second,
+                            finished_here.contains(c)};
+          } else {
+            Writer w;
+            w.put_varint(c);
+            ctx.send(proxy, kRootQueryTag, w);
+          }
+        }
+      }
+      for (const Message& msg : ctx.exchange()) {
+        Reader r(msg.payload);
+        const auto c = static_cast<std::uint32_t>(r.get_varint());
+        const auto it = new_root.find(c);
+        Writer w;
+        w.put_varint(c);
+        w.put_varint(it == new_root.end() ? c : it->second);
+        w.put_u8(finished_here.contains(c) ? 1 : 0);
+        ctx.send(msg.src, kRootReplyTag, w);
+      }
+      for (const Message& msg : ctx.exchange()) {
+        Reader r(msg.payload);
+        const auto c = static_cast<std::uint32_t>(r.get_varint());
+        const auto root = static_cast<std::uint32_t>(r.get_varint());
+        const bool fin = r.get_u8() != 0;
+        root_info[c] = {root, fin};
+      }
+      for (std::size_t i = 0; i < owned.size(); ++i) {
+        const std::uint32_t c = frag[i];
+        if (finished.contains(c)) continue;
+        const auto& [root, fin] = root_info.at(c);
+        frag[i] = root;
+        if (fin) finished.insert(c);  // fin implies root == c
+      }
+
+      ++phase;
+      done = !ctx.all_reduce_or(any_alive);
+    }
+
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      result.fragment_of[owned[i]] = frag[i];
+    }
+    phases_by_machine[self] = phase;
+  };
+
+  result.metrics = engine.run(program);
+  for (auto& edges : emitted) {
+    result.edges.insert(result.edges.end(), edges.begin(), edges.end());
+  }
+  std::sort(result.edges.begin(), result.edges.end(), mst_edge_less);
+  for (const auto& e : result.edges) result.total_weight += e.weight;
+  result.phases = phases_by_machine.empty() ? 0 : phases_by_machine[0];
+  return result;
+}
+
+}  // namespace
+
+DistributedComponentsResult sketch_connectivity(
+    const Graph& g, const VertexPartition& partition, Engine& engine,
+    const SketchConnectivityConfig& config) {
+  auto boruvka =
+      run_sketch_boruvka(&g, nullptr, partition, engine, config);
+  DistributedComponentsResult result;
+  result.labels = std::move(boruvka.fragment_of);
+  result.phases = boruvka.phases;
+  result.metrics = std::move(boruvka.metrics);
+  const std::unordered_set<std::uint32_t> distinct(result.labels.begin(),
+                                                   result.labels.end());
+  result.num_components = g.num_vertices() == 0 ? 0 : distinct.size();
+  return result;
+}
+
+DistributedMstResult sketch_mst(const WeightedGraph& g,
+                                const VertexPartition& partition,
+                                Engine& engine,
+                                const SketchConnectivityConfig& config) {
+  return run_sketch_boruvka(nullptr, &g, partition, engine, config);
+}
+
+DistributedComponentsResult centralized_connectivity_baseline(
+    const Graph& g, const VertexPartition& partition, Engine& engine) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t k = engine.k();
+  if (partition.n() != n || partition.k() != k) {
+    throw std::invalid_argument(
+        "centralized_connectivity_baseline: partition mismatch");
+  }
+
+  DistributedComponentsResult result;
+  result.labels.assign(n, 0);
+  result.phases = 1;
+
+  const Program program = [&](MachineContext& ctx) {
+    const std::size_t self = ctx.id();
+    const auto& owned = partition.owned(self);
+
+    // Ship every locally-held edge to the coordinator (each edge once,
+    // from its min endpoint's home): per-link load Θ(m/k · log n).
+    std::vector<std::pair<Vertex, Vertex>> local;
+    for (const Vertex u : owned) {
+      for (const Vertex v : g.neighbors(u)) {
+        if (u >= v) continue;
+        if (self == 0) {
+          local.emplace_back(u, v);
+        } else {
+          Writer w;
+          w.put_varint(u);
+          w.put_varint(v);
+          ctx.send(0, kEdgeShipTag, w);
+        }
+      }
+    }
+    std::vector<Message> inbox = ctx.exchange();
+    if (self == 0) {
+      UnionFind uf(n);
+      for (const auto& [u, v] : local) uf.unite(u, v);
+      for (const Message& msg : inbox) {
+        Reader r(msg.payload);
+        const auto u = static_cast<Vertex>(r.get_varint());
+        const auto v = static_cast<Vertex>(r.get_varint());
+        uf.unite(u, v);
+      }
+      // Scatter labels, one message per machine, in owned-vertex order:
+      // per-link load Θ(n/k · log n).
+      for (std::size_t m = 1; m < k; ++m) {
+        Writer w;
+        for (const Vertex v : partition.owned(m)) {
+          w.put_varint(uf.find(v));
+        }
+        ctx.send(m, kLabelShipTag, w);
+      }
+      for (const Vertex v : owned) result.labels[v] = uf.find(v);
+    }
+    inbox = ctx.exchange();
+    if (self != 0) {
+      if (inbox.size() != 1 && !owned.empty()) {
+        throw std::logic_error("baseline: expected one label message");
+      }
+      if (!inbox.empty()) {
+        Reader r(inbox.front().payload);
+        for (const Vertex v : owned) {
+          result.labels[v] = static_cast<std::uint32_t>(r.get_varint());
+        }
+      }
+    }
+  };
+
+  result.metrics = engine.run(program);
+  const std::unordered_set<std::uint32_t> distinct(result.labels.begin(),
+                                                   result.labels.end());
+  result.num_components = n == 0 ? 0 : distinct.size();
+  return result;
+}
+
+}  // namespace km

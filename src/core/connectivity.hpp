@@ -1,0 +1,83 @@
+// Sketch-based connectivity and MST in the k-machine model: the paper's
+// Õ(n/k²)-round upper bound (Section 1.3, the algorithm of [51] built on
+// AGM linear graph sketches), plus the trivial Õ(n/k) centralized
+// baseline the round-bounds harness measures it against.
+//
+// sketch_connectivity() runs Borůvka phases where *no machine ever
+// enumerates a component's edge set*:
+//   - each phase, every home machine builds a fresh-seeded ℓ₀ sketch
+//     (core/sketch.hpp, O(polylog n) bits) of each owned vertex's signed
+//     edge-incidence vector and sends it to the component's proxy
+//     machine hash(label) mod k;
+//   - the proxy *adds* the member sketches — internal edges cancel by
+//     linearity — and samples the folded sketch: a uniformly random
+//     outgoing edge of the whole component, or proof (whp) that none
+//     exists and the component is complete;
+//   - components merge by coin-flip hooking (Karger/Luby style): a
+//     phase-seeded hash coin marks each label head or tail, and a tail
+//     hooks into the head on the far side of its sampled edge.  Heads
+//     never move, so merges are depth-1 stars and no pointer-jumping
+//     cycles can form; a constant fraction of active components merges
+//     per phase in expectation, giving O(log n) phases whp.
+// Per phase each machine ships Õ(n/k) sketch bits spread over k random
+// proxies — Õ(n/k²) per link, hence Õ(n/k²) rounds per phase at
+// B = polylog(n), against Ω̃(n/k²) from the paper's General Lower Bound
+// Theorem.  tests/test_round_bounds.cpp pins the measured exponent.
+//
+// sketch_mst() extends this to exact MST: each phase, every active
+// component finds its true minimum outgoing edge under the total key
+// order (weight, endpoints) — the same tie-break order as the Kruskal
+// reference, so the result is the unique MSF edge for edge set — by an
+// exponentially-refined threshold search.  The proxy halves a key
+// interval [lo, hi] per step; home machines send 1-sparse cells of each
+// member vertex's incidence vector *restricted to edges with key <= mid*,
+// and the folded cell being nonzero (exact whp, by fingerprint) decides
+// the half.  Once the interval pins the MOE key, the restricted vector
+// is exactly 1-sparse and the cell recovers the edge deterministically.
+// Hooking then contracts only MOE edges, so every emitted edge is in the
+// MSF by the cut property, and the emitted set is exactly Kruskal's.
+//
+// centralized_connectivity_baseline() is the Õ(n/k) strawman: every
+// machine ships its local edges to machine 0, which union-finds and
+// ships labels back — per-link load Θ((m+n)/k · log n), one phase.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mst.hpp"
+#include "graph/graph.hpp"
+#include "graph/weighted.hpp"
+#include "sim/engine.hpp"
+#include "sim/partition.hpp"
+
+namespace km {
+
+/// Knobs for the sketch algorithms; defaults follow the paper's
+/// parameterization (polylog-bit sketches, O(log n) phase budget).
+struct SketchConnectivityConfig {
+  std::uint64_t seed = 0x5ce7c4;  ///< drives sketch hashes, coins, proxies
+  std::uint32_t rows = 4;         ///< independent ℓ₀ samplers per sketch
+  /// Hard phase cap (a failed convergence throws); 0 = 4*ceil_log2(n)+16,
+  /// generous against the O(log n) whp bound.
+  std::size_t max_phases = 0;
+};
+
+/// Sketch-based connectivity; labels are component-consistent vertex ids.
+DistributedComponentsResult sketch_connectivity(
+    const Graph& g, const VertexPartition& partition, Engine& engine,
+    const SketchConnectivityConfig& config = {});
+
+/// Exact MST via per-component threshold search over linear sketches.
+/// Produces the unique MSF under mst_edge_less (identical to Kruskal).
+DistributedMstResult sketch_mst(const WeightedGraph& g,
+                                const VertexPartition& partition,
+                                Engine& engine,
+                                const SketchConnectivityConfig& config = {});
+
+/// The Õ(n/k) baseline: centralize all edges at machine 0, union-find,
+/// scatter labels.  Exists to give test_round_bounds and bench_sketch
+/// the n/k-vs-n/k² separation the paper claims.
+DistributedComponentsResult centralized_connectivity_baseline(
+    const Graph& g, const VertexPartition& partition, Engine& engine);
+
+}  // namespace km

@@ -1,0 +1,181 @@
+#include "core/sketch.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace km {
+
+namespace {
+
+inline std::uint64_t addmod61(std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t s = a + b;  // both < 2^61: no overflow
+  return s >= kSketchPrime ? s - kSketchPrime : s;
+}
+
+}  // namespace
+
+std::uint64_t mulmod61(std::uint64_t a, std::uint64_t b) noexcept {
+  const unsigned __int128 x = static_cast<unsigned __int128>(a) * b;
+  // Mersenne reduction: x = hi * 2^61 + lo ≡ hi + lo (mod 2^61-1).
+  std::uint64_t r = static_cast<std::uint64_t>(x & kSketchPrime) +
+                    static_cast<std::uint64_t>(x >> 61);
+  r = (r & kSketchPrime) + (r >> 61);
+  return r >= kSketchPrime ? r - kSketchPrime : r;
+}
+
+std::uint64_t powmod61(std::uint64_t base, std::uint64_t exp) noexcept {
+  std::uint64_t result = 1;
+  std::uint64_t b = base;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod61(result, b);
+    b = mulmod61(b, b);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t sketch_fingerprint_base(std::uint64_t seed) noexcept {
+  // Uniform-ish in [2, p-1]; any value >= 2 gives z^id != 0 and the
+  // polynomial-identity error bound.
+  return 2 + mix64(seed, 0x51e7c4b1ULL) % (kSketchPrime - 2);
+}
+
+// ---------------------------------------------------------------------------
+// SketchCell
+// ---------------------------------------------------------------------------
+
+void SketchCell::add_prepared(std::uint64_t id, int sign,
+                              std::uint64_t z_pow_id) noexcept {
+  if (sign > 0) {
+    count += 1;
+    id_sum += id;
+    fingerprint = addmod61(fingerprint, z_pow_id);
+  } else {
+    count -= 1;
+    id_sum -= id;  // wraps: exact inverse of the add
+    fingerprint = addmod61(
+        fingerprint, z_pow_id == 0 ? 0 : kSketchPrime - z_pow_id);
+  }
+}
+
+void SketchCell::merge(const SketchCell& other) noexcept {
+  count += other.count;
+  id_sum += other.id_sum;
+  fingerprint = addmod61(fingerprint, other.fingerprint);
+}
+
+std::optional<std::uint64_t> SketchCell::recover(
+    std::uint64_t z, std::uint64_t universe) const noexcept {
+  // A ±1-valued 1-sparse vector has count = ±1 and id_sum = ±id exactly
+  // (single term: no wrapping).  Anything else that happens to pass the
+  // count test is vetoed by the fingerprint whp.
+  if (count != 1 && count != -1) return std::nullopt;
+  const std::uint64_t id = count == 1 ? id_sum : (0 - id_sum);
+  if (universe != 0 && id >= universe) return std::nullopt;
+  std::uint64_t expect = powmod61(z, id);
+  if (count == -1) expect = expect == 0 ? 0 : kSketchPrime - expect;
+  if (expect != fingerprint) return std::nullopt;
+  return id;
+}
+
+void SketchCell::serialize(Writer& w) const {
+  w.put_varint_signed(count);
+  w.put_varint_signed(static_cast<std::int64_t>(id_sum));
+  w.put_u64(fingerprint);
+}
+
+SketchCell SketchCell::deserialize(Reader& r) {
+  SketchCell cell;
+  cell.count = r.get_varint_signed();
+  cell.id_sum = static_cast<std::uint64_t>(r.get_varint_signed());
+  cell.fingerprint = r.get_u64();
+  return cell;
+}
+
+// ---------------------------------------------------------------------------
+// EdgeIdCodec
+// ---------------------------------------------------------------------------
+
+EdgeIdCodec::EdgeIdCodec(std::size_t n) noexcept
+    : vbits(std::max<std::uint32_t>(
+          1, ceil_log2(std::max<std::uint64_t>(n, 2)))) {}
+
+// ---------------------------------------------------------------------------
+// L0Sketch
+// ---------------------------------------------------------------------------
+
+L0Sketch::L0Sketch(const L0SketchShape& shape)
+    : shape_(shape),
+      z_(sketch_fingerprint_base(shape.seed)),
+      cells_(static_cast<std::size_t>(shape.rows) * shape.levels()) {
+  row_seeds_.reserve(shape_.rows);
+  for (std::uint32_t r = 0; r < shape_.rows; ++r) {
+    row_seeds_.push_back(mix64(shape_.seed, 0xA0B1ULL + r));
+  }
+}
+
+void L0Sketch::add(std::uint64_t id, int sign) noexcept {
+  const std::uint64_t z_pow_id = powmod61(z_, id);
+  const std::uint32_t levels = shape_.levels();
+  for (std::uint32_t r = 0; r < shape_.rows; ++r) {
+    // Nested subsampling: level l keeps id iff the seeded hash has >= l
+    // trailing zero bits, so level-l membership implies level-(l-1)
+    // membership and each level halves the expected support.
+    const std::uint64_t h = hash_vertex(row_seeds_[r], id);
+    const auto tz = static_cast<std::uint32_t>(std::countr_zero(h));
+    const std::uint32_t top = std::min(tz, levels - 1);
+    SketchCell* row = &cells_[static_cast<std::size_t>(r) * levels];
+    for (std::uint32_t l = 0; l <= top; ++l) {
+      row[l].add_prepared(id, sign, z_pow_id);
+    }
+  }
+}
+
+void L0Sketch::merge(const L0Sketch& other) {
+  if (!(shape_ == other.shape_)) {
+    throw std::invalid_argument("L0Sketch::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].merge(other.cells_[i]);
+  }
+}
+
+void L0Sketch::merge_serialized(Reader& r) {
+  for (auto& cell : cells_) cell.merge(SketchCell::deserialize(r));
+}
+
+bool L0Sketch::empty_whp() const noexcept {
+  const std::uint32_t levels = shape_.levels();
+  for (std::uint32_t row = 0; row < shape_.rows; ++row) {
+    if (!cells_[static_cast<std::size_t>(row) * levels].is_zero()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> L0Sketch::sample() const noexcept {
+  const std::uint64_t universe =
+      shape_.id_bits >= 64 ? 0 : (std::uint64_t{1} << shape_.id_bits);
+  const std::uint32_t levels = shape_.levels();
+  // Sparsest first: high levels are most likely to be 1-sparse.  The
+  // scan order is fixed, so equal sketches always sample the same id.
+  for (std::uint32_t l = levels; l-- > 0;) {
+    for (std::uint32_t row = 0; row < shape_.rows; ++row) {
+      const SketchCell& cell =
+          cells_[static_cast<std::size_t>(row) * levels + l];
+      if (const auto id = cell.recover(z_, universe)) return id;
+    }
+  }
+  return std::nullopt;
+}
+
+void L0Sketch::serialize(Writer& w) const {
+  for (const auto& cell : cells_) cell.serialize(w);
+}
+
+}  // namespace km

@@ -1,6 +1,7 @@
 #include "graph/properties.hpp"
 
 #include <queue>
+#include <unordered_map>
 
 namespace km {
 
@@ -42,6 +43,19 @@ std::vector<std::uint32_t> connected_components(const Graph& g) {
     ++next;
   }
   return label;
+}
+
+bool same_labeling(const std::vector<std::uint32_t>& a,
+                   const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<std::uint32_t, std::uint32_t> a_to_b, b_to_a;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto [it1, fresh1] = a_to_b.emplace(a[i], b[i]);
+    if (!fresh1 && it1->second != b[i]) return false;
+    const auto [it2, fresh2] = b_to_a.emplace(b[i], a[i]);
+    if (!fresh2 && it2->second != a[i]) return false;
+  }
+  return true;
 }
 
 std::size_t num_connected_components(const Graph& g) {

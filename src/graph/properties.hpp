@@ -21,6 +21,13 @@ DegreeStats degree_stats(const Graph& g);
 /// Connected component label per vertex (BFS), labels in [0, #components).
 std::vector<std::uint32_t> connected_components(const Graph& g);
 
+/// True when `a` and `b` induce the same partition of [0, n): every pair
+/// of elements is together in one iff together in the other.  Label
+/// values themselves are irrelevant, so a distributed labeling can be
+/// compared against the BFS reference directly.
+bool same_labeling(const std::vector<std::uint32_t>& a,
+                   const std::vector<std::uint32_t>& b);
+
 std::size_t num_connected_components(const Graph& g);
 
 bool is_connected(const Graph& g);

@@ -1,7 +1,9 @@
 #include "runtime/workload.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "graph/properties.hpp"
 #include "util/rng.hpp"
 
 namespace km {
@@ -57,6 +59,25 @@ VertexPartition runtime_partition(std::size_t n, std::size_t k,
   return VertexPartition::by_hash(n, k, mix64(seed, 0x9A27'11F3ULL));
 }
 
+CheckResult check_component_labels(const Graph& g,
+                                   const std::vector<std::uint32_t>& labels,
+                                   std::size_t num_components) {
+  const auto ref = connected_components(g);
+  // BFS labels are [0, #components), so the count falls out of the
+  // labeling itself — no second traversal.
+  std::size_t ref_count = 0;
+  for (const std::uint32_t l : ref) {
+    ref_count = std::max<std::size_t>(ref_count, std::size_t{l} + 1);
+  }
+  CheckResult check;
+  check.performed = true;
+  check.ok = num_components == ref_count && same_labeling(labels, ref);
+  check.detail = "distributed " + std::to_string(num_components) +
+                 " components vs BFS " + std::to_string(ref_count) +
+                 (check.ok ? ", labelings agree" : ", labelings DIFFER");
+  return check;
+}
+
 RunResult run_workload(const Workload& workload, const Dataset& dataset,
                        const RunParams& params) {
   if (dataset.kind != workload.input_kind()) {
@@ -73,9 +94,11 @@ RunResult run_workload(const Workload& workload, const Dataset& dataset,
     resolved.bandwidth_bits =
         EngineConfig::default_bandwidth(std::max<std::size_t>(dataset.n, 2));
   }
-  Engine engine(resolved.k, {.bandwidth_bits = resolved.bandwidth_bits,
-                             .seed = resolved.seed,
-                             .record_timeline = resolved.record_timeline});
+  Engine engine(resolved.k,
+                {.bandwidth_bits = resolved.bandwidth_bits,
+                 .seed = resolved.seed,
+                 .record_timeline = resolved.record_timeline,
+                 .framed_payload_max_bytes = resolved.frame_bytes});
   return workload.run(engine, dataset, resolved);
 }
 

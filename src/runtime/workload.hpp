@@ -33,6 +33,9 @@ struct RunParams {
   /// B = Theta(log^2 n), resolved against the dataset's n at run time.
   std::uint64_t bandwidth_bits = 0;
   std::uint64_t seed = 1;  ///< drives dataset, partition, and engine RNGs
+  /// Message-plane framing threshold (EngineConfig::framed_payload_max_bytes);
+  /// 0 disables framing.  Transport policy only — never changes metrics.
+  std::size_t frame_bytes = kFramedPayloadMaxBytes;
   bool record_timeline = true;  ///< per-superstep breakdown in the result
   bool check = true;  ///< verify against the sequential reference
 };
@@ -117,5 +120,12 @@ RunResult run_workload(const Workload& workload, const Dataset& dataset,
 /// partition realized by hashing, derived from the run seed.
 VertexPartition runtime_partition(std::size_t n, std::size_t k,
                                   std::uint64_t seed);
+
+/// Shared reference check for the component-labeling workload family
+/// (components, connectivity, connectivity_baseline): compares a
+/// distributed labeling against the sequential BFS reference.
+CheckResult check_component_labels(const Graph& g,
+                                   const std::vector<std::uint32_t>& labels,
+                                   std::size_t num_components);
 
 }  // namespace km

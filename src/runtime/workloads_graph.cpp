@@ -6,12 +6,10 @@
 // 4-clique reference).
 #include <algorithm>
 #include <string>
-#include <unordered_map>
 
 #include "core/cliques.hpp"
 #include "core/mst.hpp"
 #include "core/triangles.hpp"
-#include "graph/properties.hpp"
 #include "graph/triangle_ref.hpp"
 #include "graph/weighted.hpp"
 #include "runtime/workload.hpp"
@@ -22,21 +20,6 @@ namespace {
 
 std::uint64_t proxy_seed_for(const RunParams& params) {
   return mix64(params.seed, 0xF7A6'0001ULL);
-}
-
-/// True when `a` and `b` induce the same partition of [0, n): every pair
-/// of elements is together in one iff together in the other.
-bool same_partition(const std::vector<std::uint32_t>& a,
-                    const std::vector<std::uint32_t>& b) {
-  if (a.size() != b.size()) return false;
-  std::unordered_map<std::uint32_t, std::uint32_t> a_to_b, b_to_a;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const auto [it1, fresh1] = a_to_b.emplace(a[i], b[i]);
-    if (!fresh1 && it1->second != b[i]) return false;
-    const auto [it2, fresh2] = b_to_a.emplace(b[i], a[i]);
-    if (!fresh2 && it2->second != a[i]) return false;
-  }
-  return true;
 }
 
 // ---- MST ----
@@ -96,15 +79,8 @@ class ComponentsWorkload final : public Workload {
     result.add_output("num_components", std::uint64_t{dist.num_components});
     result.add_output("phases", std::uint64_t{dist.phases});
     if (params.check) {
-      const auto ref = connected_components(dataset.graph);
-      const std::size_t ref_count = num_connected_components(dataset.graph);
-      result.check.performed = true;
-      result.check.ok = dist.num_components == ref_count &&
-                        same_partition(dist.labels, ref);
-      result.check.detail =
-          "distributed " + std::to_string(dist.num_components) +
-          " components vs BFS " + std::to_string(ref_count) +
-          (result.check.ok ? ", labelings agree" : ", labelings DIFFER");
+      result.check = check_component_labels(dataset.graph, dist.labels,
+                                            dist.num_components);
     }
     return result;
   }

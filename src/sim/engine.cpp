@@ -61,10 +61,13 @@ void MachineContext::account_send(std::size_t dst,
 // single message on the link there is nothing to amortize it against, so
 // a link's first small message takes the zero-copy path and framing
 // starts from the second.  (Delivery order is independent of the split:
-// the messages vector is authoritative.)
+// the messages vector is authoritative.)  The threshold is the
+// EngineConfig knob; 0 turns framing off.
 bool MachineContext::should_frame(const LinkOut& link,
-                                  std::size_t payload_bytes) {
-  return payload_bytes <= kFramedPayloadMaxBytes && !link.messages.empty();
+                                  std::size_t payload_bytes) const {
+  const std::size_t threshold = config().framed_payload_max_bytes;
+  return threshold > 0 && payload_bytes <= threshold &&
+         !link.messages.empty();
 }
 
 Message MachineContext::stamp(std::size_t dst, std::uint16_t tag) const {
@@ -233,6 +236,7 @@ Metrics Engine::run(const Program& program) {
     first_error_ = nullptr;
   }
   const BufferPoolCounters pool_baseline = buffer_pool_counters();
+  const PayloadPoolCounters payload_baseline = payload_pool_counters();
 
   const auto start = std::chrono::steady_clock::now();
   {
@@ -265,6 +269,7 @@ Metrics Engine::run(const Program& program) {
   metrics_.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
   metrics_.pool = buffer_pool_counters().since(pool_baseline);
+  metrics_.payload_pool = payload_pool_counters().since(payload_baseline);
 
   if (first_error_) std::rethrow_exception(first_error_);
   return metrics_;
@@ -450,7 +455,12 @@ std::string Metrics::summary() const {
      << " pool_evicted=" << pool.evicted
      << " pool_evicted_bytes=" << pool.evicted_bytes
      << " pool_buffers=" << pool.pooled_buffers
-     << " pool_bytes=" << pool.pooled_bytes;
+     << " pool_bytes=" << pool.pooled_bytes
+     << " payload_pool_hits=" << payload_pool.hits
+     << " payload_pool_misses=" << payload_pool.misses
+     << " payload_pool_recycled=" << payload_pool.recycled
+     << " payload_pool_dropped=" << payload_pool.dropped
+     << " payload_pool_objects=" << payload_pool.pooled_objects;
   return os.str();
 }
 

@@ -13,8 +13,10 @@
 //    into a per-destination LinkOut owned by the sending machine and
 //    accumulates that link's bit/message counters on the fly, so by the
 //    time a machine arrives at the barrier its outbound traffic is fully
-//    bucketed and costed.  Small payloads (<= kFramedPayloadMaxBytes,
-//    sim/message.hpp) produced by the Writer/vector overloads are
+//    bucketed and costed.  Small payloads (<=
+//    EngineConfig::framed_payload_max_bytes, default
+//    kFramedPayloadMaxBytes from sim/message.hpp; 0 disables framing)
+//    produced by the Writer/vector overloads are
 //    *framed* from the link's second message of the superstep onward:
 //    their bytes are appended to one length-prefixed frame buffer per
 //    (src, dst, superstep) — layout per entry:
@@ -98,6 +100,12 @@ struct EngineConfig {
   /// first error and propagated down the barrier tree as a stop, never a
   /// deadlock.
   std::function<void(std::uint64_t superstep)> barrier_fault_injection = {};
+  /// Largest Writer/vector payload (bytes) the message plane batches into
+  /// a per-link frame instead of giving it a refcounted buffer of its
+  /// own; 0 disables framing entirely.  Pure transport policy: rounds,
+  /// bits, and delivery order are byte-identical at every setting (the
+  /// Framing property tests sweep this knob to prove it).
+  std::size_t framed_payload_max_bytes = kFramedPayloadMaxBytes;
 
   /// Bandwidth used throughout the paper: B = Theta(polylog n).
   /// We use B = 16 * ceil(log2 n)^2 bits (a handful of O(log n)-bit
@@ -158,10 +166,11 @@ class MachineContext {
   /// Charges the link (unbatched formula) and updates the sender's row
   /// aggregates.  Every send path funnels through here.
   void account_send(std::size_t dst, std::uint64_t payload_bytes);
-  /// Transport policy: small payloads are framed from the link's second
-  /// message onward (one message has nothing to amortize the copy
-  /// against).  Never affects accounting or delivery order.
-  static bool should_frame(const LinkOut& link, std::size_t payload_bytes);
+  /// Transport policy: payloads up to config().framed_payload_max_bytes
+  /// are framed from the link's second message onward (one message has
+  /// nothing to amortize the copy against).  Never affects accounting or
+  /// delivery order.
+  bool should_frame(const LinkOut& link, std::size_t payload_bytes) const;
   /// Appends a small payload to the link's frame (acquiring a pooled
   /// buffer on first use) and records the framed entry.
   void send_framed(LinkOut& link, std::size_t dst, std::uint16_t tag,

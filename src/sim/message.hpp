@@ -25,6 +25,35 @@
 
 namespace km {
 
+/// Activity counters for the PayloadBuf object pool (the thread-local
+/// free lists of refcounted buffer *objects* in message.cpp — distinct
+/// from util/buffer_pool.hpp, which recycles the byte storage those
+/// objects carry).  Cumulative counts aggregate every thread, live and
+/// exited; `pooled_objects` is a gauge over the live pools only.
+struct PayloadPoolCounters {
+  std::uint64_t hits = 0;    ///< acquires served from a free list
+  std::uint64_t misses = 0;  ///< acquires that allocated a fresh object
+  std::uint64_t recycled = 0;  ///< dead buffers adopted back into a list
+  std::uint64_t dropped = 0;   ///< dead buffers freed (list at capacity)
+  std::uint64_t pooled_objects = 0;  ///< gauge: objects currently pooled
+
+  /// Activity since `start` (cumulative fields subtract; the gauge is
+  /// carried over as-is, occupancy being a point-in-time reading).
+  PayloadPoolCounters since(const PayloadPoolCounters& start) const noexcept {
+    PayloadPoolCounters d = *this;
+    d.hits -= start.hits;
+    d.misses -= start.misses;
+    d.recycled -= start.recycled;
+    d.dropped -= start.dropped;
+    return d;
+  }
+};
+
+/// Aggregated PayloadBuf pool counters across every thread (exited
+/// threads' activity is folded in at thread exit, like the byte pool's
+/// buffer_pool_counters()).
+PayloadPoolCounters payload_pool_counters() noexcept;
+
 namespace detail {
 
 /// Intrusively refcounted payload buffer.  Created/recycled only through
@@ -161,12 +190,13 @@ struct Message {
   }
 };
 
-/// Largest payload (bytes) the message plane batches into a per-link
-/// frame instead of giving it a refcounted buffer of its own.  Applies
-/// to the Writer/vector send overloads, from a link's second message of
-/// the superstep onward; PayloadRef sends (including broadcast) always
-/// stay zero-copy shared.  Purely a transport policy: accounting never
-/// depends on it.
+/// Default for EngineConfig::framed_payload_max_bytes: the largest
+/// payload (bytes) the message plane batches into a per-link frame
+/// instead of giving it a refcounted buffer of its own.  Applies to the
+/// Writer/vector send overloads, from a link's second message of the
+/// superstep onward; PayloadRef sends (including broadcast) always stay
+/// zero-copy shared.  Purely a transport policy: accounting never
+/// depends on it, whatever the engine's threshold is set to.
 inline constexpr std::size_t kFramedPayloadMaxBytes = 256;
 
 /// Tags >= kReservedTagBase are reserved for the runtime (collectives,

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/message.hpp"
 #include "util/buffer_pool.hpp"
 
 namespace km {
@@ -55,6 +56,13 @@ struct Metrics {
   /// per-thread pool caps and every superstep pays the allocator — see
   /// util/buffer_pool.hpp.
   BufferPoolCounters pool;
+
+  /// PayloadBuf *object* pool activity during this run (same per-run
+  /// delta convention as `pool`, which tracks the byte storage).  A
+  /// large `dropped` means more than 1024 payload objects die on one
+  /// thread's pool between acquires — the object pool is thrashing even
+  /// if the byte pool is not.
+  PayloadPoolCounters payload_pool;
 
   /// Max bits received by any machine = empirical information cost bound.
   std::uint64_t max_recv_bits() const noexcept {

@@ -1,9 +1,12 @@
 // Tests for util/buffer_pool.hpp: recycling behaviour and the
 // occupancy/overflow counters, including driving a pool past its three
 // caps (256 buffers, 1 MiB per buffer, 8 MiB per thread) and asserting
-// the eviction accounting.  Cap arithmetic needs a pool in a known-empty
-// state, so cap tests run on a fresh thread (thread-local pools start
-// empty); counters are global, and nothing else runs concurrently here.
+// the eviction accounting.  Also covers the PayloadBuf *object* pool
+// (sim/message.cpp, 1024 objects per thread) and its counters, driven
+// through the PayloadRef lifecycle.  Cap arithmetic needs a pool in a
+// known-empty state, so cap tests run on a fresh thread (thread-local
+// pools start empty); counters are global, and nothing else runs
+// concurrently here.
 #include "util/buffer_pool.hpp"
 
 #include <gtest/gtest.h>
@@ -11,6 +14,7 @@
 #include <thread>
 
 #include "sim/engine.hpp"
+#include "sim/message.hpp"
 
 namespace km {
 namespace {
@@ -107,6 +111,76 @@ TEST(BufferPool, BufferCountCapEvictsOverflow) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// PayloadBuf object pool (sim/message.cpp)
+// ---------------------------------------------------------------------------
+
+// Non-empty payload bytes, so the PayloadRef really acquires a buffer
+// object (empty payloads are ownerless by design).
+PayloadRef make_payload(std::size_t len = 1) {
+  return PayloadRef(std::vector<std::byte>(len, std::byte{0x5a}));
+}
+
+TEST(BufferPool, PayloadPoolMissRecycleHitRoundTrip) {
+  on_fresh_thread([] {
+    const auto before = payload_pool_counters();
+    {
+      const PayloadRef ref = make_payload();  // fresh pool: a miss
+      const auto mid = payload_pool_counters().since(before);
+      EXPECT_EQ(mid.misses, 1u);
+      EXPECT_EQ(mid.hits, 0u);
+    }  // last ref dropped: the object is adopted back
+    {
+      const PayloadRef ref = make_payload();  // served from the free list
+      const auto mid = payload_pool_counters().since(before);
+      EXPECT_EQ(mid.hits, 1u);
+      EXPECT_EQ(mid.misses, 1u);
+    }
+    const auto d = payload_pool_counters().since(before);
+    EXPECT_EQ(d.recycled, 2u);
+    EXPECT_EQ(d.dropped, 0u);
+  });
+}
+
+TEST(BufferPool, PayloadPoolSharedRefsReleaseOneObject) {
+  on_fresh_thread([] {
+    const auto before = payload_pool_counters();
+    {
+      const PayloadRef a = make_payload(8);
+      const PayloadRef b = a;           // shares the buffer object
+      const PayloadRef c = a.slice(2, 4);
+      EXPECT_TRUE(b.shares_buffer_with(c));
+    }
+    const auto d = payload_pool_counters().since(before);
+    EXPECT_EQ(d.misses, 1u) << "three refs, one underlying object";
+    EXPECT_EQ(d.recycled, 1u) << "one object comes back when the last "
+                                 "ref drops";
+  });
+}
+
+TEST(BufferPool, PayloadPoolObjectCapDropsOverflow) {
+  on_fresh_thread([] {
+    constexpr std::size_t kCap = 1024;  // kMaxPooledBufs in message.cpp
+    constexpr std::size_t kLive = kCap + 100;
+    const auto before = payload_pool_counters();
+    {
+      std::vector<PayloadRef> live;
+      live.reserve(kLive);
+      for (std::size_t i = 0; i < kLive; ++i) live.push_back(make_payload());
+    }  // 1124 objects die at once: 1024 adopted, 100 dropped
+    const auto d = payload_pool_counters().since(before);
+    EXPECT_EQ(d.misses, kLive);
+    EXPECT_EQ(d.recycled, kCap);
+    EXPECT_EQ(d.dropped, kLive - kCap);
+    // Occupancy gauge sees this thread's full free list while alive.
+    EXPECT_GE(payload_pool_counters().pooled_objects,
+              before.pooled_objects + kCap);
+  });
+  // The fresh thread exited: its gauge contribution is gone, but the
+  // cumulative activity was folded into the totals at thread exit.
+  EXPECT_GE(payload_pool_counters().recycled, 1024u);
+}
+
 TEST(BufferPool, EngineRunReportsPoolDelta) {
   // The engine snapshots the counters around a run and surfaces the
   // delta through Metrics: a message-heavy run must show pool traffic,
@@ -121,9 +195,14 @@ TEST(BufferPool, EngineRunReportsPoolDelta) {
     }
   });
   EXPECT_GT(metrics.pool.hits + metrics.pool.misses, 0u);
+  EXPECT_GT(metrics.payload_pool.hits + metrics.payload_pool.misses, 0u)
+      << "a broadcast-heavy run must create payload objects";
   const std::string summary = metrics.summary();
   EXPECT_NE(summary.find("pool_hits="), std::string::npos) << summary;
   EXPECT_NE(summary.find("pool_evicted_bytes="), std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("payload_pool_hits="), std::string::npos) << summary;
+  EXPECT_NE(summary.find("payload_pool_dropped="), std::string::npos)
       << summary;
 }
 

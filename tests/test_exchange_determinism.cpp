@@ -239,20 +239,22 @@ std::vector<std::byte> pattern_bytes(std::uint64_t seed, std::size_t len) {
   return bytes;
 }
 
-TEST(Framing, RandomSizesMatchUnbatchedAccountingAndOrder) {
-  // The frame batching property test: random message sizes/counts per
-  // link, several supersteps.  Delivery must preserve ascending source
-  // and per-link send order with exact bytes, and every superstep's
-  // rounds/bits/max_link_bits must equal the *unbatched* formula
-  // (sum per message of kHeaderBits + 8 * payload), i.e. batching is
-  // invisible to the cost model.
+// The frame batching property test: random message sizes/counts per
+// link, several supersteps, at one framing-threshold setting.  Delivery
+// must preserve ascending source and per-link send order with exact
+// bytes, and every superstep's rounds/bits/max_link_bits must equal the
+// *unbatched* formula (sum per message of kHeaderBits + 8 * payload),
+// i.e. batching is invisible to the cost model — whatever the threshold.
+void run_framing_property_trial(std::uint64_t trial,
+                                std::size_t frame_bytes) {
   constexpr std::size_t kMachines = 6;
   constexpr int kSupersteps = 4;
   constexpr std::uint64_t kBandwidth = 2048;
-  for (std::uint64_t trial = 1; trial <= 3; ++trial) {
+  {
     Engine engine(kMachines, {.bandwidth_bits = kBandwidth,
                               .seed = trial,
-                              .record_timeline = true});
+                              .record_timeline = true,
+                              .framed_payload_max_bytes = frame_bytes});
     const auto metrics = engine.run([&](MachineContext& ctx) {
       for (int step = 0; step < kSupersteps; ++step) {
         for (std::size_t dst = 0; dst < kMachines; ++dst) {
@@ -312,6 +314,69 @@ TEST(Framing, RandomSizesMatchUnbatchedAccountingAndOrder) {
                           1, (max_link + kBandwidth - 1) / kBandwidth);
       EXPECT_EQ(t.rounds, rounds) << "step " << step;
     }
+  }
+}
+
+TEST(Framing, RandomSizesMatchUnbatchedAccountingAndOrder) {
+  for (std::uint64_t trial = 1; trial <= 3; ++trial) {
+    run_framing_property_trial(trial, kFramedPayloadMaxBytes);
+  }
+}
+
+TEST(Framing, ThresholdSweepKeepsUnbatchedAccounting) {
+  // EngineConfig::framed_payload_max_bytes is a pure transport knob: the
+  // same property must hold with framing disabled (0), at a tiny
+  // threshold that leaves most messages unframed (64), at the default
+  // (256), and at one that frames every planned size (1024).
+  for (const std::size_t frame_bytes : {std::size_t{0}, std::size_t{64},
+                                        std::size_t{256}, std::size_t{1024}}) {
+    run_framing_property_trial(/*trial=*/7, frame_bytes);
+  }
+}
+
+TEST(Framing, ThresholdKnobControlsTransportSharing) {
+  // Observable transport effect of the knob: payloads of 300 bytes ride
+  // the shared per-link frame at threshold 1024, and nothing shares at
+  // threshold 0 — while metrics stay identical across all settings.
+  constexpr std::size_t kPayload = 300;  // past the 256-byte default
+  std::vector<Metrics> all;
+  for (const std::size_t frame_bytes :
+       {std::size_t{0}, std::size_t{256}, std::size_t{1024}}) {
+    Engine engine(2, {.bandwidth_bits = 1 << 16,
+                      .seed = 11,
+                      .record_timeline = true,
+                      .framed_payload_max_bytes = frame_bytes});
+    all.push_back(engine.run([&](MachineContext& ctx) {
+      for (int i = 0; i < 3; ++i) {
+        Writer w;
+        w.put_bytes(std::vector<std::byte>(kPayload, std::byte{0x7e}));
+        ctx.send(1 - ctx.id(), 1, w);
+      }
+      const auto in = ctx.exchange();
+      ASSERT_EQ(in.size(), 3u);
+      const bool expect_shared = frame_bytes >= kPayload;
+      EXPECT_EQ(in[1].payload.shares_buffer_with(in[2].payload),
+                expect_shared)
+          << "frame_bytes=" << frame_bytes;
+      // Threshold 0 must behave like the pre-knob unframed plane: every
+      // message owns its buffer.
+      if (frame_bytes == 0) {
+        EXPECT_FALSE(in[0].payload.shares_buffer_with(in[1].payload));
+      }
+      for (const Message& msg : in) {
+        ASSERT_EQ(msg.payload.size(), kPayload);
+        for (const std::byte b : msg.payload) {
+          ASSERT_EQ(b, std::byte{0x7e});
+        }
+      }
+    }));
+  }
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].rounds, all[0].rounds);
+    EXPECT_EQ(all[i].messages, all[0].messages);
+    EXPECT_EQ(all[i].bits, all[0].bits);
+    EXPECT_EQ(all[i].max_link_bits_superstep, all[0].max_link_bits_superstep);
+    EXPECT_EQ(all[i].timeline, all[0].timeline);
   }
 }
 

@@ -1,0 +1,127 @@
+// Golden-metrics snapshots: one checked-in km.run_result/v1 document per
+// registered workload, produced at a fixed (dataset, k, B, seed) cell
+// and diffed field-by-field against a fresh run.  An engine or
+// accounting refactor that changes rounds/bits/messages — or any output
+// or schema field — fails here with the exact line that moved, instead
+// of slipping through as a silent behavioral change.  The only field
+// exempt from the diff is wall_ms (the one value that legitimately
+// varies between identical-seed runs; results.hpp documents this).
+//
+// Regenerate intentionally with:
+//   KM_UPDATE_GOLDEN=1 ./build/tests/test_golden_metrics
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/dataset.hpp"
+#include "runtime/results.hpp"
+#include "runtime/workload.hpp"
+
+namespace km {
+namespace {
+
+/// The pinned scenario per workload.  Every registered workload must
+/// have an entry (asserted below), so adding a workload without a
+/// golden snapshot is a test failure, not an oversight.
+const std::map<std::string, std::string>& golden_datasets() {
+  static const std::map<std::string, std::string> specs = {
+      {"cliques4", "gnp:n=48,p=0.15"},
+      {"components", "gnp:n=64,p=0.05"},
+      {"connectivity", "gnp:n=64,p=0.05"},
+      {"connectivity_baseline", "gnp:n=64,p=0.05"},
+      {"mst", "gnp:n=64,p=0.08,maxw=1000"},
+      {"mst_sketch", "gnp:n=48,p=0.08,maxw=1000"},
+      {"pagerank", "gnp:n=64,p=0.05"},
+      {"pagerank_baseline", "gnp:n=64,p=0.05"},
+      {"sort", "keys:n=512"},
+      {"triangles", "gnp:n=48,p=0.15"},
+      {"triangles_baseline", "gnp:n=48,p=0.15"},
+  };
+  return specs;
+}
+
+std::string golden_path(const std::string& workload) {
+  return std::string(KM_GOLDEN_DIR) + "/" + workload + ".json";
+}
+
+std::string render_current(const Workload& workload,
+                           const std::string& spec) {
+  RunParams params;
+  params.k = 4;
+  params.bandwidth_bits = 0;  // default B = Theta(log^2 n), deterministic
+  params.seed = 7;
+  params.record_timeline = true;
+  params.check = true;
+  const Dataset dataset =
+      load_dataset(spec, workload.input_kind(), params.seed);
+  return run_result_to_json(run_workload(workload, dataset, params)) + "\n";
+}
+
+bool is_exempt(const std::string& line) {
+  return line.find("\"wall_ms\":") != std::string::npos;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(GoldenMetrics, EveryRegisteredWorkloadHasAPinnedSnapshot) {
+  for (const Workload* workload : WorkloadRegistry::instance().list()) {
+    EXPECT_TRUE(golden_datasets().contains(std::string(workload->name())))
+        << "workload '" << workload->name()
+        << "' has no golden dataset entry — add one (and its snapshot) to "
+           "tests/golden/";
+  }
+  for (const auto& [name, spec] : golden_datasets()) {
+    EXPECT_NE(WorkloadRegistry::instance().find(name), nullptr)
+        << "golden entry '" << name << "' names an unregistered workload";
+  }
+}
+
+TEST(GoldenMetrics, SnapshotsMatchFieldByField) {
+  const bool update = std::getenv("KM_UPDATE_GOLDEN") != nullptr;
+  for (const auto& [name, spec] : golden_datasets()) {
+    const Workload* workload = WorkloadRegistry::instance().find(name);
+    ASSERT_NE(workload, nullptr) << name;
+    const std::string current = render_current(*workload, spec);
+
+    if (update) {
+      std::ofstream out(golden_path(name));
+      ASSERT_TRUE(out.good()) << "cannot write " << golden_path(name);
+      out << current;
+      continue;
+    }
+
+    std::ifstream in(golden_path(name));
+    ASSERT_TRUE(in.good())
+        << "missing golden snapshot " << golden_path(name)
+        << " — generate with KM_UPDATE_GOLDEN=1";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    const std::vector<std::string> want = split_lines(buffer.str());
+    const std::vector<std::string> got = split_lines(current);
+    const std::size_t lines = std::min(want.size(), got.size());
+    for (std::size_t i = 0; i < lines; ++i) {
+      if (is_exempt(want[i]) && is_exempt(got[i])) continue;
+      EXPECT_EQ(got[i], want[i])
+          << name << ".json line " << (i + 1)
+          << " changed — if intentional, regenerate with KM_UPDATE_GOLDEN=1";
+      if (got[i] != want[i]) break;  // first divergence is the story
+    }
+    EXPECT_EQ(got.size(), want.size()) << name << ".json length changed";
+  }
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,183 @@
+// Round-complexity regression harness: turns the paper's asymptotic
+// separation — sketch connectivity in Õ(n/k²) rounds versus the Õ(n/k)
+// centralized baseline — into permanent assertions over measured
+// Metrics::rounds from real engine runs.
+//
+// Measurement reality at test scale: the whp analysis hides polylog
+// factors that do not vanish at n ≈ 10³, k ≤ 16.  Two effects flatten
+// the sketch curve towards the high-k end: (a) max-over-links rounds
+// accounting pays the maximum of ~Poisson(n/k²) link loads, which sits
+// well above the mean once n/k² is small, and (b) the early-phase
+// regime (components still spanning few machines) contributes an extra
+// Θ(log k) factor.  The harness therefore fits over k ∈ {2, 4, 8} at
+// n = 1024 — where per-link loads are large enough for the asymptote to
+// show — and asserts the fitted exponent with tolerance, plus an
+// absolute envelope c·(n/k²)·log³n that the pre-aggregation regression
+// (per-vertex sketch shipping, Θ(n/k) per link) demonstrably violates.
+// The cleanest finite-scale separation is edge-density independence:
+// sketch rounds are a function of n only, baseline rounds scale with m.
+//
+// All runs are deterministic (fixed seeds, hash-based randomness), so
+// every asserted number is stable across platforms and schedulers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "runtime/dataset.hpp"
+#include "runtime/workload.hpp"
+#include "util/mathx.hpp"
+
+namespace km {
+namespace {
+
+constexpr std::uint64_t kBandwidth = 512;  // fixed B: clean scaling fits
+constexpr std::uint64_t kSeed = 3;
+
+/// Deterministic run cache: grid cells are shared between fits.
+std::uint64_t measured_rounds(const std::string& workload_name,
+                              const std::string& spec, std::size_t k) {
+  using Key = std::tuple<std::string, std::string, std::size_t>;
+  static std::map<Key, std::uint64_t> cache;
+  const Key key{workload_name, spec, k};
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  const Workload* workload = WorkloadRegistry::instance().find(workload_name);
+  if (workload == nullptr) throw std::logic_error("unknown workload");
+  RunParams params;
+  params.k = k;
+  params.bandwidth_bits = kBandwidth;
+  params.seed = kSeed;
+  params.record_timeline = false;
+  params.check = false;  // correctness grids live in test_sketch.cpp
+  const Dataset dataset = load_dataset(spec, workload->input_kind(), kSeed);
+  const RunResult result = run_workload(*workload, dataset, params);
+  cache[key] = result.metrics.rounds;
+  return result.metrics.rounds;
+}
+
+/// Sparse G(n, p) with expected average degree 8: m = Θ(n), so n-scaling
+/// fits are not polluted by a changing m/n ratio.
+std::string sparse_spec(std::size_t n) {
+  return "gnp:n=" + std::to_string(n) + ",p=" +
+         std::to_string(8.0 / static_cast<double>(n));
+}
+
+double fitted_k_slope(const std::string& workload_name, std::size_t n,
+                      const std::vector<std::size_t>& ks) {
+  std::vector<double> xs, ys;
+  for (const std::size_t k : ks) {
+    xs.push_back(static_cast<double>(k));
+    ys.push_back(static_cast<double>(
+        measured_rounds(workload_name, sparse_spec(n), k)));
+  }
+  return fit_log_log_slope(xs, ys);
+}
+
+TEST(RoundBounds, SketchConnectivityRoundsScaleLikeNOverKSquared) {
+  // Calibrated on the seed grid: measured ≈ -1.30 (the -2 asymptote
+  // minus the finite-scale log k effects documented above).  A
+  // regression to per-link Θ(n/k) drags the fit towards -1 and out of
+  // the band.
+  const double slope = fitted_k_slope("connectivity", 1024, {2, 4, 8});
+  EXPECT_LE(slope, -1.15) << "sketch connectivity lost its k^-2 scaling";
+  EXPECT_GE(slope, -2.5) << "suspiciously steep: measurement broken?";
+}
+
+TEST(RoundBounds, BaselineRoundsScaleLikeNOverK) {
+  const double slope =
+      fitted_k_slope("connectivity_baseline", 1024, {2, 4, 8});
+  EXPECT_LE(slope, -0.6) << "baseline stopped scaling down with k";
+  EXPECT_GE(slope, -1.25) << "baseline scales better than its n/k design";
+}
+
+TEST(RoundBounds, SketchBeatsBaselineExponentBySeparatedMargin) {
+  const double sketch = fitted_k_slope("connectivity", 1024, {2, 4, 8});
+  const double baseline =
+      fitted_k_slope("connectivity_baseline", 1024, {2, 4, 8});
+  EXPECT_LE(sketch, baseline - 0.3)
+      << "the paper's k^-2 vs k^-1 separation collapsed: sketch " << sketch
+      << " vs baseline " << baseline;
+}
+
+TEST(RoundBounds, RoundsGrowRoughlyLinearlyInN) {
+  for (const char* workload : {"connectivity", "connectivity_baseline"}) {
+    std::vector<double> xs, ys;
+    for (const std::size_t n : {256u, 512u, 1024u}) {
+      xs.push_back(static_cast<double>(n));
+      ys.push_back(
+          static_cast<double>(measured_rounds(workload, sparse_spec(n), 8)));
+    }
+    const double slope = fit_log_log_slope(xs, ys);
+    EXPECT_GE(slope, 0.6) << workload << " rounds sublinear in n?";
+    EXPECT_LE(slope, 1.6) << workload
+                          << " rounds superlinear in n (polylog blowup?)";
+  }
+}
+
+TEST(RoundBounds, SketchRoundsFitTheUpperBoundEnvelope) {
+  // rounds <= c1 * (n/k^2) * log2(n)^3 + c2 * log2(n)^2, calibrated with
+  // 3-10x headroom over the measured grid.  The pre-aggregation
+  // regression (one sketch per vertex to the proxy) lands 1.4-2.8x
+  // *above* this envelope at k >= 8, so the bound is tight enough to
+  // catch a real Θ(n/k) relapse while loose enough for seed wiggle.
+  constexpr double c1 = 1.0;
+  constexpr double c2 = 10.0;
+  for (const std::size_t n : {256u, 512u, 1024u}) {
+    const double logn = static_cast<double>(ceil_log2(n));
+    for (const std::size_t k : {2u, 4u, 8u, 16u}) {
+      const auto rounds = static_cast<double>(
+          measured_rounds("connectivity", sparse_spec(n), k));
+      const double nd = static_cast<double>(n);
+      const double kd = static_cast<double>(k);
+      const double envelope =
+          c1 * (nd / (kd * kd)) * logn * logn * logn + c2 * logn * logn;
+      EXPECT_LE(rounds, envelope)
+          << "n=" << n << " k=" << k
+          << ": rounds blew past c*(n/k^2)*polylog(n)";
+    }
+  }
+}
+
+TEST(RoundBounds, SketchRoundsAreIndependentOfEdgeDensity) {
+  // The sketch algorithm's communication is a function of n alone (each
+  // vertex ships polylog bits per phase, however many edges it has); the
+  // baseline ships every edge.  Same n, ~15x the edges: sketch rounds
+  // must stay put while baseline rounds scale by ~an order of magnitude.
+  const std::string sparse = "gnp:n=512,p=0.008";  // m ~ 1k
+  const std::string dense = "gnp:n=512,p=0.12";    // m ~ 16k
+  const double sketch_ratio =
+      static_cast<double>(measured_rounds("connectivity", dense, 8)) /
+      static_cast<double>(measured_rounds("connectivity", sparse, 8));
+  const double baseline_ratio =
+      static_cast<double>(
+          measured_rounds("connectivity_baseline", dense, 8)) /
+      static_cast<double>(
+          measured_rounds("connectivity_baseline", sparse, 8));
+  EXPECT_GE(sketch_ratio, 0.55) << "denser graph should not cut rounds much";
+  EXPECT_LE(sketch_ratio, 1.5)
+      << "sketch rounds picked up an edge-count dependence";
+  EXPECT_GE(baseline_ratio, 4.0)
+      << "baseline no longer pays per edge — is it still the baseline?";
+}
+
+TEST(RoundBounds, MonotoneInKAcrossTheAcceptanceGrid) {
+  // The acceptance grid's k values: more machines never cost more
+  // rounds, for either algorithm.
+  for (const char* workload : {"connectivity", "connectivity_baseline"}) {
+    std::uint64_t prev = ~std::uint64_t{0};
+    for (const std::size_t k : {4u, 8u, 16u}) {
+      const std::uint64_t rounds =
+          measured_rounds(workload, sparse_spec(1024), k);
+      EXPECT_LT(rounds, prev) << workload << " at k=" << k;
+      prev = rounds;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace km

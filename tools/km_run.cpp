@@ -7,8 +7,8 @@
 //       Show every registered workload with its input kind.
 //
 //   km_run run --workload mst --dataset gnp:n=1000,p=0.01 --k 8
-//              [--B 0] [--seed 1] [--timeline true] [--check true]
-//              [--json out.json]
+//              [--B 0] [--seed 1] [--frame-bytes 256] [--timeline true]
+//              [--check true] [--json out.json]
 //       Run one scenario; print a summary line and optionally write the
 //       km.run_result/v1 JSON document (--json - writes it to stdout).
 //
@@ -45,12 +45,16 @@ int usage(const char* error) {
                "usage:\n"
                "  km_run list\n"
                "  km_run run   --workload W --dataset SPEC [--k 8] [--B 0]\n"
-               "               [--seed 1] [--timeline true] [--check true]\n"
+               "               [--seed 1] [--frame-bytes 256]\n"
+               "               [--timeline true] [--check true]\n"
                "               [--json PATH|-]\n"
                "  km_run sweep --workload W --dataset SPEC --k K1,K2,...\n"
                "               [--B B1,...] [--n N1,...] [--seed 1]\n"
+               "               [--frame-bytes 256]\n"
                "               [--out-dir sweep-results] [--timeline true]\n"
                "               [--check true]\n\n"
+               "--frame-bytes sets the message-plane framing threshold\n"
+               "(transport batching only; 0 disables, metrics identical).\n\n"
                "%s\n",
                dataset_grammar_help().c_str());
   return 2;
@@ -110,14 +114,16 @@ RunParams params_from(const Options& opts, std::uint64_t k, std::uint64_t B) {
   params.k = static_cast<std::size_t>(k);
   params.bandwidth_bits = B;
   params.seed = opts.get_uint("seed", 1);
+  params.frame_bytes = static_cast<std::size_t>(
+      opts.get_uint("frame-bytes", kFramedPayloadMaxBytes));
   params.record_timeline = opts.get_bool("timeline", true);
   params.check = opts.get_bool("check", true);
   return params;
 }
 
 int cmd_run(const Options& opts) {
-  opts.reject_unknown(
-      {"workload", "dataset", "k", "B", "seed", "timeline", "check", "json"});
+  opts.reject_unknown({"workload", "dataset", "k", "B", "seed", "frame-bytes",
+                       "timeline", "check", "json"});
   const std::string workload_name = opts.get_string("workload", "");
   const std::string spec_text = opts.get_string("dataset", "");
   if (workload_name.empty()) return usage("run: --workload is required");
@@ -162,7 +168,7 @@ std::string slug(const std::string& text) {
 
 int cmd_sweep(const Options& opts) {
   opts.reject_unknown({"workload", "dataset", "k", "B", "n", "seed",
-                       "timeline", "check", "out-dir"});
+                       "frame-bytes", "timeline", "check", "out-dir"});
   const std::string workload_name = opts.get_string("workload", "");
   const std::string spec_text = opts.get_string("dataset", "");
   if (workload_name.empty()) return usage("sweep: --workload is required");
