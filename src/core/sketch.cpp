@@ -3,6 +3,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "util/annotations.hpp"
 #include "util/hash.hpp"
 #include "util/mathx.hpp"
 #include "util/rng.hpp"
@@ -48,6 +49,9 @@ std::uint64_t sketch_fingerprint_base(std::uint64_t seed) noexcept {
 // SketchCell
 // ---------------------------------------------------------------------------
 
+// id_sum wraps mod 2^64 by design (linearity over Z/2^64); keep clang's
+// opt-in -fsanitize=integer from flagging the intentional wrap.
+KM_NO_SANITIZE("unsigned-integer-overflow")
 void SketchCell::add_prepared(std::uint64_t id, int sign,
                               std::uint64_t z_pow_id) noexcept {
   if (sign > 0) {
@@ -62,12 +66,14 @@ void SketchCell::add_prepared(std::uint64_t id, int sign,
   }
 }
 
+KM_NO_SANITIZE("unsigned-integer-overflow")
 void SketchCell::merge(const SketchCell& other) noexcept {
   count += other.count;
   id_sum += other.id_sum;
   fingerprint = addmod61(fingerprint, other.fingerprint);
 }
 
+KM_NO_SANITIZE("unsigned-integer-overflow")  // 0 - id_sum: exact negation
 std::optional<std::uint64_t> SketchCell::recover(
     std::uint64_t z, std::uint64_t universe) const noexcept {
   // A ±1-valued 1-sparse vector has count = ±1 and id_sum = ±id exactly

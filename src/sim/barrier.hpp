@@ -46,6 +46,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace km {
 
 class TreeBarrier {
@@ -88,7 +90,10 @@ class TreeBarrier {
   /// node's last arriver, children quiescent); `finalize() -> bool` is
   /// invoked exactly once per episode on the root's last arriver, and
   /// its result (the stop decision) is returned to *every* participant.
-  /// Neither hook may throw.
+  /// Neither hook may throw.  Both hooks run holding fold_phase (the
+  /// phantom capability below), so hook bodies annotated
+  /// KM_REQUIRES(fold_phase) are machine-checked against the state that
+  /// only folders may touch.
   template <typename Combine, typename Finalize>
   bool arrive(std::size_t who, Combine&& combine, Finalize&& finalize) {
     // Flip this participant's sense first: the episode completes when the
@@ -113,11 +118,15 @@ class TreeBarrier {
       // sense flips, which happens-after this store), fold the children,
       // and carry the combined result up the tree.
       n.arrived.store(0, std::memory_order_relaxed);
+      fold_phase.acquire();  // fan-in won: sole folder of `node`'s subtree
       combine(node, n.leaf, n.child_begin, n.child_end);
+      fold_phase.release();
       if (n.parent == kNoParent) break;
       node = n.parent;
     }
+    fold_phase.acquire();  // root fan-in won: every other thread is parked
     const bool stop = finalize();
+    fold_phase.release();
     // Publish the stop decision, then the sense flip releases everything
     // the folding path and finalize wrote (counters, metrics, buckets).
     stop_.store(stop ? 1u : 0u, std::memory_order_relaxed);
@@ -129,6 +138,15 @@ class TreeBarrier {
   /// Re-arms the barrier for a fresh run.  Callable only while no thread
   /// is inside arrive() (the engine calls it before spawning machines).
   void reset() noexcept;
+
+  /// Capability standing for "exclusive fold-phase access": held by the
+  /// combine hook over the consumed children's state and by the finalize
+  /// hook over everything the fold produced.  The exclusion mechanism is
+  /// the barrier protocol itself (the winning fetch_add at a node's
+  /// fan-in), not a lock — this phantom makes that guarantee visible to
+  /// -Wthread-safety so fold-side state can be KM_GUARDED_BY it.  Public:
+  /// callers name it in their own annotations (see Engine::fold_node).
+  PhantomCapability fold_phase;
 
  private:
   // One cache line per node: the arrival counter is the only contended

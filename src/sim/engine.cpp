@@ -218,6 +218,11 @@ Metrics Engine::run(const Program& program) {
     Engine& engine;
     ~ContextsGuard() { engine.contexts_.clear(); }
   } guard{*this};
+  // Single-threaded prologue: no machine thread exists yet, so this
+  // thread trivially has fold-phase exclusivity over the metrics and
+  // accumulators (the phantom acquire is free and keeps the guarded
+  // members compile-checked).
+  barrier_.fold_phase.acquire();
   metrics_ = Metrics{};
   metrics_.send_bits_per_machine.assign(k_, 0);
   metrics_.recv_bits_per_machine.assign(k_, 0);
@@ -229,15 +234,18 @@ Metrics Engine::run(const Program& program) {
     std::fill(acc.recv_bits.begin(), acc.recv_bits.end(), 0);
     std::fill(acc.recv_msgs.begin(), acc.recv_msgs.end(), 0);
   }
+  barrier_.fold_phase.release();
   stop_.store(false, std::memory_order_relaxed);
   finished_count_.store(0, std::memory_order_relaxed);
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     first_error_ = nullptr;
   }
   const BufferPoolCounters pool_baseline = buffer_pool_counters();
   const PayloadPoolCounters payload_baseline = payload_pool_counters();
 
+  // Wall-clock metric, not simulation state: rounds/bits stay seeded-
+  // deterministic whatever this reads.  km-lint: allow(wall-clock)
   const auto start = std::chrono::steady_clock::now();
   {
     std::vector<std::jthread> threads;
@@ -247,8 +255,7 @@ Metrics Engine::run(const Program& program) {
         try {
           program(*contexts_[i]);
         } catch (...) {
-          const std::scoped_lock lock(mutex_);
-          if (!first_error_) first_error_ = std::current_exception();
+          record_first_error(std::current_exception());
         }
         contexts_[i]->finished_ = true;  // published by the next arrival
         finished_count_.fetch_add(1, std::memory_order_release);
@@ -265,14 +272,34 @@ Metrics Engine::run(const Program& program) {
       });
     }
   }  // jthreads join here
+  // Wall-clock metric, not simulation state.  km-lint: allow(wall-clock)
   const auto end = std::chrono::steady_clock::now();
+  // Single-threaded epilogue: every machine thread joined above, so this
+  // thread again holds fold-phase exclusivity.
+  barrier_.fold_phase.acquire();
   metrics_.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
   metrics_.pool = buffer_pool_counters().since(pool_baseline);
   metrics_.payload_pool = payload_pool_counters().since(payload_baseline);
+  const Metrics result = metrics_;
+  barrier_.fold_phase.release();
 
-  if (first_error_) std::rethrow_exception(first_error_);
-  return metrics_;
+  std::exception_ptr error;
+  {
+    const MutexLock lock(mutex_);
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+  return result;
+}
+
+void Engine::record_first_error(std::exception_ptr error) {
+  const MutexLock lock(mutex_);
+  set_first_error_locked(std::move(error));
+}
+
+void Engine::set_first_error_locked(std::exception_ptr error) {
+  if (!first_error_) first_error_ = std::move(error);
 }
 
 bool Engine::barrier_arrive_and_wait(std::size_t who) {
@@ -280,9 +307,17 @@ bool Engine::barrier_arrive_and_wait(std::size_t who) {
       who,
       [this](std::size_t node, bool leaf, std::size_t child_begin,
              std::size_t child_end) {
+        // TreeBarrier::arrive holds fold_phase across this hook (the
+        // node's fan-in fetch_add elected us sole folder); the lambda is
+        // analyzed in isolation, so restate that fact for the analysis.
+        barrier_.fold_phase.assert_held();
         fold_node(node, leaf, child_begin, child_end);
       },
-      [this] { return finalize_superstep(); });
+      [this] {
+        // Same contract: arrive() holds fold_phase across finalize.
+        barrier_.fold_phase.assert_held();
+        return finalize_superstep();
+      });
 }
 
 void Engine::fold_node(std::size_t node, bool leaf, std::size_t child_begin,
@@ -379,19 +414,15 @@ bool Engine::finalize_superstep() {
         std::max(metrics_.max_link_bits_superstep, stats.max_link_bits);
     if (all_finished) stop = true;
     if (metrics_.supersteps > config_.max_supersteps) {
-      const std::scoped_lock lock(mutex_);
-      if (!first_error_) {
-        first_error_ = std::make_exception_ptr(std::runtime_error(
-            "Engine: superstep budget exhausted (runaway loop?)"));
-      }
+      record_first_error(std::make_exception_ptr(std::runtime_error(
+          "Engine: superstep budget exhausted (runaway loop?)")));
       stop = true;
     }
   } catch (...) {
     // A throw out of the merge must not leave the other machines parked
     // forever: record it and stop, so the sense flip wakes everyone into
     // the abort path.
-    const std::scoped_lock lock(mutex_);
-    if (!first_error_) first_error_ = std::current_exception();
+    record_first_error(std::current_exception());
     stop = true;
   }
   if (stop) stop_.store(true, std::memory_order_release);

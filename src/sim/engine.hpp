@@ -75,11 +75,11 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "sim/barrier.hpp"
+#include "util/annotations.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
@@ -238,12 +238,19 @@ class Engine {
   }
   /// Combining hook: the last arriver at `node` folds its children
   /// (machine counter rows at leaves, child accumulators otherwise).
+  /// Fold-phase exclusivity is the barrier's fan-in protocol; the
+  /// capability requirement makes every touch of the guarded
+  /// accumulators/metrics below compile-checked under -Wthread-safety.
   void fold_node(std::size_t node, bool leaf, std::size_t child_begin,
-                 std::size_t child_end);
+                 std::size_t child_end) KM_REQUIRES(barrier_.fold_phase);
   /// Runs once per superstep on the root's last arriver: converts the
   /// root accumulator into round/bit metrics and the stop decision.
   /// Never throws — failures (fault injection) become first_error_ + stop.
-  bool finalize_superstep();
+  bool finalize_superstep() KM_REQUIRES(barrier_.fold_phase);
+  /// Records `error` as the run's first error if none is set yet.
+  void record_first_error(std::exception_ptr error) KM_EXCLUDES(mutex_);
+  void set_first_error_locked(std::exception_ptr error)
+      KM_REQUIRES(mutex_);
 
   /// Lock-free delivery (phase 3): moves every message addressed to `ctx`
   /// from the sources' parity LinkOuts into `into`, ascending source
@@ -261,13 +268,18 @@ class Engine {
   std::vector<std::unique_ptr<MachineContext>> contexts_;
 
   TreeBarrier barrier_;
-  std::vector<NodeAccum> node_accums_;  ///< indexed by barrier node id
+  // Fold-phase state: written only while holding barrier_.fold_phase —
+  // by folders/finalizers inside a barrier episode, and by Engine::run
+  // in its single-threaded prologue/epilogue (which acquires the phantom
+  // capability to make that exclusivity explicit to the analysis).
+  std::vector<NodeAccum> node_accums_  ///< indexed by barrier node id
+      KM_GUARDED_BY(barrier_.fold_phase);
+  Metrics metrics_ KM_GUARDED_BY(barrier_.fold_phase);
 
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> finished_count_{0};
-  Metrics metrics_;           // written by fold/finalize inside the barrier
-  mutable std::mutex mutex_;  // guards first_error_ only
-  std::exception_ptr first_error_;
+  mutable Mutex mutex_;  // guards first_error_ only
+  std::exception_ptr first_error_ KM_GUARDED_BY(mutex_);
 };
 
 }  // namespace km

@@ -1,7 +1,6 @@
 #include "sim/message.hpp"
 
-#include <mutex>
-
+#include "util/annotations.hpp"
 #include "util/buffer_pool.hpp"
 
 namespace km {
@@ -26,9 +25,10 @@ struct alignas(64) CounterCell {
 // Live cells plus totals retired by exited threads.  The mutex guards
 // registration, retirement, and the aggregate read — never the hot path.
 struct Registry {
-  std::mutex mutex;
-  std::vector<const CounterCell*> live;
-  PayloadPoolCounters retired;  // gauge stays 0: a dead pool holds nothing
+  Mutex mutex;
+  std::vector<const CounterCell*> live KM_GUARDED_BY(mutex);
+  // gauge stays 0: a dead pool holds nothing
+  PayloadPoolCounters retired KM_GUARDED_BY(mutex);
 };
 
 Registry& counter_registry() noexcept {
@@ -40,14 +40,14 @@ struct BufPool {
   BufPool() {
     free_list.reserve(kMaxPooledBufs);
     auto& reg = counter_registry();
-    const std::scoped_lock lock(reg.mutex);
+    const MutexLock lock(reg.mutex);
     reg.live.push_back(&cell);
   }
   ~BufPool() {
     destroyed = true;
     for (PayloadBuf* buf : free_list) delete buf;
     auto& reg = counter_registry();
-    const std::scoped_lock lock(reg.mutex);
+    const MutexLock lock(reg.mutex);
     reg.retired.hits += cell.hits.load(std::memory_order_relaxed);
     reg.retired.misses += cell.misses.load(std::memory_order_relaxed);
     reg.retired.recycled += cell.recycled.load(std::memory_order_relaxed);
@@ -108,7 +108,7 @@ void recycle_payload_buf(PayloadBuf* buf) noexcept {
 
 PayloadPoolCounters payload_pool_counters() noexcept {
   auto& reg = detail::counter_registry();
-  const std::scoped_lock lock(reg.mutex);
+  const MutexLock lock(reg.mutex);
   PayloadPoolCounters total = reg.retired;
   for (const auto* cell : reg.live) {
     total.hits += cell->hits.load(std::memory_order_relaxed);

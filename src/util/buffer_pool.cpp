@@ -1,8 +1,9 @@
 #include "util/buffer_pool.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <utility>
+
+#include "util/annotations.hpp"
 
 namespace km {
 
@@ -29,9 +30,10 @@ struct alignas(64) CounterCell {
 // mutex guards only registration, retirement, and the aggregate read —
 // never the pool hot path.
 struct Registry {
-  std::mutex mutex;
-  std::vector<const CounterCell*> live;
-  BufferPoolCounters retired;  // gauges stay 0: a dead pool holds nothing
+  Mutex mutex;
+  std::vector<const CounterCell*> live KM_GUARDED_BY(mutex);
+  // gauges stay 0: a dead pool holds nothing
+  BufferPoolCounters retired KM_GUARDED_BY(mutex);
 };
 
 Registry& registry() noexcept {
@@ -43,13 +45,13 @@ struct Pool {
   Pool() {
     buffers.reserve(kMaxPooledBuffers);
     auto& reg = registry();
-    const std::scoped_lock lock(reg.mutex);
+    const MutexLock lock(reg.mutex);
     reg.live.push_back(&cell);
   }
   ~Pool() {
     destroyed = true;
     auto& reg = registry();
-    const std::scoped_lock lock(reg.mutex);
+    const MutexLock lock(reg.mutex);
     reg.retired.hits += cell.hits.load(std::memory_order_relaxed);
     reg.retired.misses += cell.misses.load(std::memory_order_relaxed);
     reg.retired.recycled += cell.recycled.load(std::memory_order_relaxed);
@@ -115,7 +117,7 @@ void recycle_buffer(std::vector<std::byte>&& buf) noexcept {
 
 BufferPoolCounters buffer_pool_counters() noexcept {
   auto& reg = registry();
-  const std::scoped_lock lock(reg.mutex);
+  const MutexLock lock(reg.mutex);
   BufferPoolCounters total = reg.retired;
   for (const CounterCell* cell : reg.live) {
     total.hits += cell->hits.load(std::memory_order_relaxed);

@@ -3,11 +3,14 @@
 #include <atomic>
 #include <iostream>
 
+#include "util/annotations.hpp"
+
 namespace km {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
+// Serializes line output only; the level is a lock-free atomic.
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -36,7 +39,7 @@ void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::scoped_lock lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::cerr << "[km:" << level_name(level) << "] " << msg << "\n";
 }
 

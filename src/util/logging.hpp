@@ -1,8 +1,9 @@
 // Tiny leveled logger. The simulator is multi-threaded; log lines are
-// serialized through a mutex so interleaved machine output stays readable.
+// serialized through a mutex (an annotated km::Mutex in logging.cpp, so
+// -Wthread-safety sees the discipline) to keep interleaved machine
+// output readable.
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string>
 

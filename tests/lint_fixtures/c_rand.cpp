@@ -1,0 +1,17 @@
+// Fixture for the c-rand rule. Never compiled; scanned by
+// tests/test_lint.cpp. Expected: exactly one finding (std::rand call).
+#include <cstdlib>
+
+int bad_roll() {
+  return std::rand() % 6;
+}
+
+int tolerated_roll() {
+  return rand() % 6;  // km-lint: allow(c-rand) -- fixture escape demo
+}
+
+// A project method that happens to be named `random` is not libc.
+struct Partition {
+  static Partition random(int n, int k);
+};
+Partition clean_call(int n, int k) { return Partition::random(n, k); }

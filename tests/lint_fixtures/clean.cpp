@@ -1,0 +1,10 @@
+// Fixture with no determinism violations; km_lint must report zero
+// findings and exit 0 when given only this file. Never compiled.
+#include <cstdint>
+#include <vector>
+
+std::uint64_t sum(const std::vector<std::uint64_t>& xs) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t x : xs) total += x;
+  return total;
+}

@@ -1,0 +1,15 @@
+// Fixture for the pointer-key-map rule. Never compiled; scanned by
+// tests/test_lint.cpp. Expected: exactly one finding (bad_index).
+#include <cstdint>
+#include <map>
+
+struct Node {
+  int id;
+};
+
+std::map<Node*, int> bad_index;
+
+// km-lint: allow(pointer-key-map) -- fixture demonstrating the escape
+std::map<const Node*, int> tolerated_index;
+
+std::map<std::uint32_t, int> clean_index;

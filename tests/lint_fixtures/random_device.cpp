@@ -1,0 +1,14 @@
+// Fixture for the random-device rule. Never compiled; scanned by
+// tests/test_lint.cpp. Expected: exactly one finding (the first decl).
+#include <random>
+
+unsigned bad_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+unsigned tolerated_entropy() {
+  // km-lint: allow(random-device) -- fixture demonstrating the escape
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,23 @@
+// Fixture for the unordered-iter rule. Never compiled; scanned by
+// tests/test_lint.cpp under a src/sim/ logical path (the rule is scoped
+// to the accounting/workload/results plane). Expected: one finding.
+#include <unordered_map>
+
+int bad_sum() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  for (const auto& kv : counts) {
+    total += kv.second;
+  }
+  return total;
+}
+
+int tolerated_sum() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  // km-lint: allow(unordered-iter) -- fixture demonstrating the escape
+  for (const auto& kv : counts) {
+    total += kv.second;
+  }
+  return total;
+}

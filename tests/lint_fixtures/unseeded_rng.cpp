@@ -1,0 +1,21 @@
+// Fixture for the unseeded-rng rule. Never compiled; scanned by
+// tests/test_lint.cpp. Expected: exactly one finding (default-seeded
+// mt19937 in bad_draw).
+#include <cstdint>
+#include <random>
+
+std::uint32_t bad_draw() {
+  std::mt19937 gen;
+  return gen();
+}
+
+std::uint32_t seeded_draw(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  return static_cast<std::uint32_t>(gen());
+}
+
+std::uint32_t tolerated_draw() {
+  // km-lint: allow(unseeded-rng) -- fixture demonstrating the escape
+  std::mt19937 gen;
+  return gen();
+}

@@ -1,0 +1,12 @@
+// Fixture for the wall-clock rule. Never compiled; scanned by
+// tests/test_lint.cpp. Expected: exactly one finding (system_clock).
+#include <chrono>
+
+long bad_stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long metric_stamp() {
+  // km-lint: allow(wall-clock) -- timing metric only, never in results
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,168 @@
+// km_lint CLI: scans C++ sources for determinism-contract violations.
+//
+//   km_lint [--root DIR] [--json FILE] [--quiet] [--list-rules] PATH...
+//
+// Each PATH is a file or a directory (recursed for C++ extensions).
+// Findings print as `path:line: [rule] message`; paths are reported
+// relative to --root (default: current directory) so path-scoped rules
+// (unordered-iter) see repo-relative names like src/sim/engine.cpp.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_cpp_extension(const fs::path& p) {
+  static const char* kExts[] = {".hpp", ".cpp", ".h", ".cc", ".cxx", ".hxx"};
+  const std::string ext = p.extension().string();
+  return std::any_of(std::begin(kExts), std::end(kExts),
+                     [&](const char* e) { return ext == e; });
+}
+
+std::string logical_path(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(file, root, ec);
+  if (ec || rel.empty() || *rel.begin() == "..") {
+    return file.generic_string();
+  }
+  return rel.generic_string();
+}
+
+void collect(const fs::path& target, std::vector<fs::path>& files) {
+  if (fs::is_directory(target)) {
+    for (const auto& entry : fs::recursive_directory_iterator(target)) {
+      if (entry.is_regular_file() && has_cpp_extension(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  } else {
+    files.push_back(target);
+  }
+}
+
+void json_escape(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+bool write_json(const std::string& file,
+                const std::vector<km::lint::Finding>& findings,
+                std::size_t files_scanned) {
+  std::ofstream out(file);
+  if (!out) return false;
+  out << "{\n  \"version\": \"km.lint_report/v1\",\n  \"files_scanned\": "
+      << files_scanned << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const km::lint::Finding& f = findings[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"path\": \"";
+    json_escape(out, f.path);
+    out << "\", \"line\": " << f.line << ", \"rule\": \"";
+    json_escape(out, f.rule);
+    out << "\", \"message\": \"";
+    json_escape(out, f.message);
+    out << "\"}";
+  }
+  out << (findings.empty() ? "]" : "\n  ]") << "\n}\n";
+  return static_cast<bool>(out);
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--json FILE] [--quiet] [--list-rules] "
+               "PATH...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string json_file;
+  bool quiet = false;
+  std::vector<fs::path> targets;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      root = argv[i];
+    } else if (arg == "--json") {
+      if (++i >= argc) return usage(argv[0]);
+      json_file = argv[i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const km::lint::RuleInfo& r : km::lint::rules()) {
+        std::cout << r.id << "\n    " << r.summary << "\n";
+      }
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      targets.emplace_back(arg);
+    }
+  }
+  if (targets.empty()) return usage(argv[0]);
+
+  std::vector<fs::path> files;
+  for (const fs::path& t : targets) {
+    std::error_code ec;
+    if (!fs::exists(t, ec) || ec) {
+      std::cerr << "km_lint: no such path: " << t.string() << "\n";
+      return 2;
+    }
+    collect(t, files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<km::lint::Finding> findings;
+  for (const fs::path& file : files) {
+    const std::string logical = logical_path(file, root);
+    auto result = km::lint::scan_file(file.string(), logical);
+    if (!result) {
+      std::cerr << "km_lint: cannot read " << file.string() << "\n";
+      return 2;
+    }
+    findings.insert(findings.end(), result->begin(), result->end());
+  }
+
+  if (!quiet) {
+    for (const km::lint::Finding& f : findings) {
+      std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
+    std::cout << "km_lint: " << files.size() << " file(s), "
+              << findings.size() << " finding(s)\n";
+  }
+  if (!json_file.empty() &&
+      !write_json(json_file, findings, files.size())) {
+    std::cerr << "km_lint: cannot write " << json_file << "\n";
+    return 2;
+  }
+  return findings.empty() ? 0 : 1;
+}
