@@ -87,6 +87,45 @@ void BM_UniqueFanOut(benchmark::State& state) {
 BENCHMARK(BM_UniqueFanOut)->Arg(16)->Arg(64)->Arg(1024)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
+void BM_UniqueFanOutTraced(benchmark::State& state) {
+  // BM_UniqueFanOut with the tracing plane on (spans + counter events,
+  // no link matrices): the delta against the untraced rows above is the
+  // tracing overhead per superstep.  The acceptance bar lives on the
+  // *other* side — with tracing off the hooks must cost nothing but a
+  // null check, so BM_UniqueFanOut itself must not move when the plane
+  // is compiled in (CI's bench-quick job keeps both series in the
+  // uploaded artifact for exactly this comparison).
+  const auto payload_bytes = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::byte> blob(payload_bytes, std::byte{0x33});
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(kMachines,
+                  {.bandwidth_bits = kBandwidth, .seed = 22, .trace = true});
+    metrics = engine.run([&](MachineContext& ctx) {
+      for (int step = 0; step < kSupersteps; ++step) {
+        for (std::size_t dst = 0; dst < kMachines; ++dst) {
+          if (dst == ctx.id()) continue;
+          Writer w;
+          w.put_varint(static_cast<std::uint64_t>(step));
+          w.put_bytes(blob);
+          ctx.send(dst, 2, w);
+        }
+        const auto in = ctx.exchange();
+        if (in.size() != kMachines - 1) {
+          throw std::logic_error("bench_exchange: lost fan-out messages");
+        }
+        benchmark::DoNotOptimize(in.data());
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * kSupersteps * kMachines *
+                          (kMachines - 1) *
+                          static_cast<std::int64_t>(payload_bytes));
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+}
+BENCHMARK(BM_UniqueFanOutTraced)->Arg(16)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
 void BM_TinyBatchFanOut(benchmark::State& state) {
   // The frame-batching target: many tiny messages per link per
   // superstep, where the per-message fixed cost (a refcounted buffer

@@ -4,7 +4,18 @@
 # --out-dir (default: bench-results/).  Console output streams through so
 # the paper-curve tables printed by bench_common.hpp stay visible.
 #
-# Usage: scripts/run_benches.sh [--build-dir DIR] [--out-dir DIR] [--filter REGEX]
+# Every result document is stamped with the run's provenance (git SHA +
+# dirty flag, build type, host/CPU, UTC date) so a BENCH_*.json pulled
+# from a CI artifact months later still says what produced it: the
+# context is written to BENCH_CONTEXT.json and, when python3 is
+# available, injected into each document under a "km_context" key.
+#
+# Usage: scripts/run_benches.sh [--build-dir DIR] [--out-dir DIR]
+#                               [--filter REGEX] [--quick]
+#
+# --quick caps per-benchmark measurement time (for CI trend points, not
+# publication numbers; the stamp records quick=true so nobody mistakes
+# one for the other).
 set -euo pipefail
 
 # A dedicated build dir: configuring with KM_BUILD_TESTS=OFF must not
@@ -12,12 +23,15 @@ set -euo pipefail
 BUILD_DIR=build/bench
 OUT_DIR=bench-results
 FILTER=""
+QUICK=false
+BUILD_TYPE=Release
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out-dir)   OUT_DIR="$2"; shift 2 ;;
     --filter)    FILTER="$2"; shift 2 ;;
+    --quick)     QUICK=true; shift ;;
     -h|--help)   grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -26,10 +40,36 @@ done
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO_ROOT"
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DKM_BUILD_TESTS=OFF
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" -DKM_BUILD_TESTS=OFF
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 mkdir -p "$OUT_DIR"
+
+# Provenance stamp: one context document for the whole run.
+write_context() {
+  local sha=unknown dirty=false cpu=unknown
+  if git -C "$REPO_ROOT" rev-parse HEAD > /dev/null 2>&1; then
+    sha="$(git -C "$REPO_ROOT" rev-parse HEAD)"
+    git -C "$REPO_ROOT" diff --quiet HEAD 2> /dev/null || dirty=true
+  fi
+  if [[ -r /proc/cpuinfo ]]; then
+    cpu="$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo)"
+    [[ -n $cpu ]] || cpu=unknown
+  fi
+  cat > "$OUT_DIR/BENCH_CONTEXT.json" <<EOF
+{
+  "git_sha": "$sha",
+  "git_dirty": $dirty,
+  "build_type": "$BUILD_TYPE",
+  "quick": $QUICK,
+  "host": "$(uname -srm)",
+  "nproc": $(nproc),
+  "cpu": "$cpu",
+  "date_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+}
+EOF
+}
+write_context
 
 shopt -s nullglob
 benches=("$BUILD_DIR"/bench/bench_*)
@@ -46,12 +86,40 @@ for bin in "${benches[@]}"; do
     continue
   fi
   echo "==> $name"
+  quick_args=()
+  if [[ $QUICK == true ]]; then
+    quick_args=(--benchmark_min_time=0.05)
+  fi
   if ! "$bin" --benchmark_out="$OUT_DIR/BENCH_${name#bench_}.json" \
-              --benchmark_out_format=json; then
+              --benchmark_out_format=json "${quick_args[@]}"; then
     echo "FAILED: $name" >&2
     failures=$((failures + 1))
   fi
 done
+
+# Inject the context stamp into each document (python3 path; without it
+# the BENCH_CONTEXT.json sidecar is the stamp).
+if command -v python3 > /dev/null; then
+  python3 - "$OUT_DIR" <<'EOF'
+import glob, json, os, sys
+
+out_dir = sys.argv[1]
+with open(os.path.join(out_dir, "BENCH_CONTEXT.json")) as f:
+    context = json.load(f)
+for path in sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json"))):
+    if os.path.basename(path) in ("BENCH_ALL.json", "BENCH_CONTEXT.json"):
+        continue
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except ValueError:
+        continue  # truncated output from a crashed bench; merge skips it too
+    doc["km_context"] = context
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+EOF
+fi
 
 # Merge the per-bench documents into one artifact so the perf trajectory
 # across commits is a single file: BENCH_ALL.json maps bench name -> the

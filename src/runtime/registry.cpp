@@ -98,8 +98,12 @@ RunResult run_workload(const Workload& workload, const Dataset& dataset,
                 {.bandwidth_bits = resolved.bandwidth_bits,
                  .seed = resolved.seed,
                  .record_timeline = resolved.record_timeline,
+                 .trace = resolved.trace,
+                 .trace_links = resolved.trace_links,
                  .framed_payload_max_bytes = resolved.frame_bytes});
-  return workload.run(engine, dataset, resolved);
+  RunResult result = workload.run(engine, dataset, resolved);
+  result.trace = engine.trace_session();
+  return result;
 }
 
 }  // namespace km

@@ -54,6 +54,28 @@ std::string run_result_to_json(const RunResult& result, int indent) {
   w.field("max_send_bits", metrics.max_send_bits());
   w.field("max_recv_bits", metrics.max_recv_bits());
   w.field("wall_ms", metrics.wall_ms);
+  // Wall-time block, present only on traced runs.  Like wall_ms it is
+  // not part of the deterministic run identity: golden diffing strips
+  // the whole `timing` object (tests/test_golden_metrics.cpp documents
+  // the exempt-key set).
+  if (metrics.timing.enabled) {
+    w.key("timing").begin_object();
+    w.field("barrier_wait_max_ms", metrics.timing.barrier_wait_max_ms);
+    w.field("barrier_wait_mean_ms", metrics.timing.barrier_wait_mean_ms);
+    w.field("barrier_wait_skew", metrics.timing.barrier_wait_skew);
+    w.key("per_machine").begin_array();
+    for (const MachinePhaseMs& pm : metrics.timing.per_machine) {
+      w.begin_object();
+      w.field("machine", pm.machine);
+      w.field("compute_ms", pm.compute_ms);
+      w.field("send_ms", pm.send_ms);
+      w.field("barrier_wait_ms", pm.barrier_wait_ms);
+      w.field("deliver_ms", pm.deliver_ms);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   w.key("timeline").begin_array();
   for (const SuperstepStats& s : metrics.timeline) {
     w.begin_object();

@@ -1,7 +1,9 @@
 // Machine-readable results: serializes a RunResult to schema-stable JSON
 // (schema id "km.run_result/v1").  Key order is fixed, numbers are exact
-// (std::to_chars round-trip for doubles), and the only field that varies
-// between identical-seed runs is metrics.wall_ms.
+// (std::to_chars round-trip for doubles), and the only fields that vary
+// between identical-seed runs are metrics.wall_ms and the optional
+// metrics.timing block (both wall-time, both exempt from golden diffs —
+// see tests/test_golden_metrics.cpp for the documented exempt-key set).
 //
 // Document shape:
 //   {
@@ -17,10 +19,21 @@
 //                 "bits": ..., "max_link_bits_superstep": ...,
 //                 "dropped_messages": ..., "max_send_bits": ...,
 //                 "max_recv_bits": ..., "wall_ms": ...,
+//                 "timing": {            // traced runs only
+//                   "barrier_wait_max_ms": ...,
+//                   "barrier_wait_mean_ms": ...,
+//                   "barrier_wait_skew": ...,
+//                   "per_machine": [{"machine": 0, "compute_ms": ...,
+//                                    "send_ms": ..., "barrier_wait_ms": ...,
+//                                    "deliver_ms": ...}, ...]},
 //                 "timeline": [{"superstep": 0, "rounds": ...,
 //                               "messages": ..., "bits": ...,
 //                               "max_link_bits": ...}, ...]}
 //   }
+//
+// RunParams::trace / trace_links deliberately do NOT appear under
+// "params": they are observation knobs, not part of the parameter cell
+// that identifies a deterministic run.
 #pragma once
 
 #include <string>

@@ -38,6 +38,14 @@ struct RunParams {
   std::size_t frame_bytes = kFramedPayloadMaxBytes;
   bool record_timeline = true;  ///< per-superstep breakdown in the result
   bool check = true;  ///< verify against the sequential reference
+  /// Wall-time tracing (EngineConfig::trace): phase spans + counter
+  /// events, surfaced as RunResult::trace and the result's `timing`
+  /// block.  NOT part of the run's parameter cell — rounds/bits are
+  /// byte-identical either way (tests/test_trace.cpp), so these two are
+  /// deliberately absent from the serialized `params` object and golden
+  /// snapshots never see them.
+  bool trace = false;
+  bool trace_links = false;  ///< with trace: per-superstep k x k bit matrix
 };
 
 /// Outcome of the sequential-reference verification.
@@ -61,6 +69,10 @@ struct RunResult {
   Metrics metrics;
   CheckResult check;
   std::vector<std::pair<std::string, OutputValue>> outputs;
+  /// The run's trace when RunParams::trace was set (null otherwise);
+  /// shared with the engine's session so it outlives it.  Export via
+  /// TraceSession::write_chrome_trace / write_link_matrix_json.
+  std::shared_ptr<const TraceSession> trace;
 
   void add_output(std::string name, OutputValue value) {
     outputs.emplace_back(std::move(name), std::move(value));

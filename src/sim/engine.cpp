@@ -5,10 +5,33 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sim/trace.hpp"
 #include "util/buffer_pool.hpp"
 #include "util/mathx.hpp"
 
 namespace km {
+
+#if KM_TRACING_ENABLED
+namespace {
+/// Accumulates one send() call's wall time into the machine's nested send
+/// span.  Inert (no clock read) on untraced runs.
+class SendTimer {
+ public:
+  explicit SendTimer(MachineTraceBuffer* buf) : buf_(buf) {
+    if (buf_) begin_ = buf_->now_ns();
+  }
+  ~SendTimer() {
+    if (buf_) buf_->add_send(begin_, buf_->now_ns());
+  }
+  SendTimer(const SendTimer&) = delete;
+  SendTimer& operator=(const SendTimer&) = delete;
+
+ private:
+  MachineTraceBuffer* buf_;
+  std::uint64_t begin_ = 0;
+};
+}  // namespace
+#endif
 
 std::uint64_t EngineConfig::default_bandwidth(std::size_t n) noexcept {
   const std::uint64_t logn = std::max<std::uint64_t>(1, ceil_log2(n));
@@ -80,6 +103,9 @@ Message MachineContext::stamp(std::size_t dst, std::uint16_t tag) const {
 
 void MachineContext::send(std::size_t dst, std::uint16_t tag,
                           PayloadRef payload) {
+#if KM_TRACING_ENABLED
+  const SendTimer timer(trace_);
+#endif
   LinkOut& link = link_for(dst);
   account_send(dst, payload.size());
   Message msg = stamp(dst, tag);
@@ -104,6 +130,9 @@ void MachineContext::send_framed(LinkOut& link, std::size_t dst,
 
 void MachineContext::send(std::size_t dst, std::uint16_t tag,
                           std::vector<std::byte> payload) {
+#if KM_TRACING_ENABLED
+  const SendTimer timer(trace_);
+#endif
   LinkOut& link = link_for(dst);
   if (should_frame(link, payload.size())) {
     send_framed(link, dst, tag, payload);
@@ -117,6 +146,9 @@ void MachineContext::send(std::size_t dst, std::uint16_t tag,
 }
 
 void MachineContext::send(std::size_t dst, std::uint16_t tag, Writer& writer) {
+#if KM_TRACING_ENABLED
+  const SendTimer timer(trace_);
+#endif
   LinkOut& link = link_for(dst);
   if (should_frame(link, writer.size_bytes())) {
     send_framed(link, dst, tag, writer.view());
@@ -138,15 +170,27 @@ void MachineContext::broadcast(std::uint16_t tag, Writer& writer) {
 }
 
 std::vector<Message> MachineContext::exchange() {
+  // The machine's superstep boundary is also the tracing seam: the span
+  // clock only ticks here and in SendTimer, so an untraced run's hot path
+  // sees nothing but null-pointer checks.
+#if KM_TRACING_ENABLED
+  if (trace_) trace_->begin_sync(trace_->now_ns());
+#endif
   if (engine_->barrier_arrive_and_wait(id_)) {
     // Only possible when the engine aborted (superstep budget, or a
     // failed barrier merge): a normal stop requires *all* machines to
     // have finished, and this one hasn't.
     throw std::runtime_error("MachineContext::exchange: engine aborted");
   }
+#if KM_TRACING_ENABLED
+  if (trace_) trace_->end_barrier(trace_->now_ns());
+#endif
   std::vector<Message> result = std::move(stashed_);
   stashed_.clear();
   engine_->drain_inbound(*this, result);
+#if KM_TRACING_ENABLED
+  if (trace_) trace_->end_deliver(trace_->now_ns());
+#endif
   return result;
 }
 
@@ -154,11 +198,11 @@ std::vector<std::uint64_t> MachineContext::all_gather(std::uint64_t value) {
   Writer w;
   w.put_varint(value);
   broadcast(kCollectiveTag, w);
-  if (engine_->barrier_arrive_and_wait(id_)) {
-    throw std::runtime_error("MachineContext::all_gather: engine aborted");
-  }
-  std::vector<Message> raw;
-  engine_->drain_inbound(*this, raw);
+  // Collective-tagged messages are always consumed in the superstep that
+  // sent them, so stashed leftovers survive the detour through exchange()
+  // unchanged: they come back at the front of `raw` and go straight back
+  // into the stash, preserving order.
+  std::vector<Message> raw = exchange();
   std::vector<std::uint64_t> values(k(), 0);
   values[id_] = value;
   for (auto& msg : raw) {
@@ -218,6 +262,15 @@ Metrics Engine::run(const Program& program) {
     Engine& engine;
     ~ContextsGuard() { engine.contexts_.clear(); }
   } guard{*this};
+  trace_.reset();  // last run's trace dies here whatever config says now
+#if KM_TRACING_ENABLED
+  if (config_.trace) {
+    trace_ = std::make_shared<TraceSession>(k_, config_.trace_links);
+    for (std::size_t i = 0; i < k_; ++i) {
+      contexts_[i]->trace_ = &trace_->machine(i);
+    }
+  }
+#endif
   // Single-threaded prologue: no machine thread exists yet, so this
   // thread trivially has fold-phase exclusivity over the metrics and
   // accumulators (the phantom acquire is free and keeps the guarded
@@ -252,6 +305,11 @@ Metrics Engine::run(const Program& program) {
     threads.reserve(k_);
     for (std::size_t i = 0; i < k_; ++i) {
       threads.emplace_back([this, &program, i] {
+#if KM_TRACING_ENABLED
+        // Span origin on the machine's own thread, so the first compute
+        // span excludes thread-spawn latency.
+        if (contexts_[i]->trace_) contexts_[i]->trace_->thread_begin();
+#endif
         try {
           program(*contexts_[i]);
         } catch (...) {
@@ -281,6 +339,9 @@ Metrics Engine::run(const Program& program) {
       std::chrono::duration<double, std::milli>(end - start).count();
   metrics_.pool = buffer_pool_counters().since(pool_baseline);
   metrics_.payload_pool = payload_pool_counters().since(payload_baseline);
+#if KM_TRACING_ENABLED
+  if (trace_) metrics_.timing = trace_->summarize();
+#endif
   const Metrics result = metrics_;
   barrier_.fold_phase.release();
 
@@ -332,6 +393,16 @@ void Engine::fold_node(std::size_t node, bool leaf, std::size_t child_begin,
     for (std::size_t m = child_begin; m < child_end; ++m) {
       MachineContext& from = *contexts_[m];
       if (from.row_msgs_ == 0) continue;
+#if KM_TRACING_ENABLED
+      if (trace_ && trace_->links_enabled()) {
+        // Snapshot the row before the zeroing below destroys it.  Leaf
+        // folders own disjoint machine ranges, so concurrent folders
+        // write disjoint matrix rows — the same exclusivity that lets
+        // them write metrics_.send_bits_per_machine[m] above.
+        trace_->fold_gate.assert_held();
+        trace_->record_link_row(m, from.out_bits_.data());
+      }
+#endif
       acc.bits += from.row_bits_;
       acc.msgs += from.row_msgs_;
       acc.max_link = std::max(acc.max_link, from.row_max_);
@@ -405,6 +476,16 @@ bool Engine::finalize_superstep() {
                                      .bits = stats.bits,
                                      .max_link_bits = stats.max_link_bits});
       }
+#if KM_TRACING_ENABLED
+      if (trace_) {
+        // Root finalizer == sole holder of the fold phase; one counter
+        // sample (and link matrix, if any) per counted superstep.
+        trace_->fold_gate.assert_held();
+        trace_->finalize_superstep(metrics_.supersteps, stats.rounds,
+                                   stats.messages, stats.bits,
+                                   stats.max_link_bits);
+      }
+#endif
       ++metrics_.supersteps;
     }
     metrics_.rounds += stats.rounds;
@@ -492,6 +573,11 @@ std::string Metrics::summary() const {
      << " payload_pool_recycled=" << payload_pool.recycled
      << " payload_pool_dropped=" << payload_pool.dropped
      << " payload_pool_objects=" << payload_pool.pooled_objects;
+  if (timing.enabled) {
+    os << " barrier_wait_max_ms=" << timing.barrier_wait_max_ms
+       << " barrier_wait_mean_ms=" << timing.barrier_wait_mean_ms
+       << " barrier_wait_skew=" << timing.barrier_wait_skew;
+  }
   return os.str();
 }
 

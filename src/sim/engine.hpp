@@ -94,6 +94,17 @@ struct EngineConfig {
   std::uint64_t max_supersteps = 1'000'000;  ///< runaway-loop backstop
   /// Record a per-superstep SuperstepStats timeline in Metrics::timeline.
   bool record_timeline = false;
+  /// Record wall-time phase spans (compute/send/barrier_wait/deliver per
+  /// machine per superstep) and per-superstep counter events into a
+  /// TraceSession (sim/trace.hpp), surfaced via Engine::trace_session()
+  /// and Metrics::timing.  Same opt-in pattern as record_timeline: off
+  /// means one predictable null-pointer branch per seam (exactly zero
+  /// when compiled with -DKM_DISABLE_TRACING).  Tracing never perturbs
+  /// rounds/bits/delivery (tests/test_trace.cpp proves byte-identity).
+  bool trace = false;
+  /// With `trace`: also record the opt-in per-superstep k x k link-bits
+  /// matrix (O(k^2) memory per traffic-carrying superstep).
+  bool trace_links = false;
   /// Test-only fault injection: invoked on the root finalizer at the
   /// start of every superstep merge (all machines arrived, none released).
   /// A throw from here must abort the run cleanly — captured as the run's
@@ -114,6 +125,8 @@ struct EngineConfig {
 };
 
 class Engine;
+class TraceSession;
+class MachineTraceBuffer;
 
 /// Per-machine handle: identity, RNG, messaging, collectives.
 class MachineContext {
@@ -197,6 +210,10 @@ class MachineContext {
 
   std::vector<Message> stashed_;  // non-collective msgs seen by collectives
   bool finished_ = false;
+
+  /// This machine's span recorder, or null when the run is untraced.
+  /// Single-writer from this machine's own thread (sim/trace.hpp).
+  MachineTraceBuffer* trace_ = nullptr;
 };
 
 using Program = std::function<void(MachineContext&)>;
@@ -213,6 +230,13 @@ class Engine {
   /// torn down on every exit path (RAII), so a failed run never leaks
   /// stale contexts into the next one.
   Metrics run(const Program& program);
+
+  /// The last run's trace (EngineConfig::trace), or null when the run was
+  /// untraced or tracing was compiled out.  Valid after run() returns;
+  /// shared so results can outlive the engine (RunResult::trace).
+  std::shared_ptr<const TraceSession> trace_session() const noexcept {
+    return trace_;
+  }
 
  private:
   friend class MachineContext;
@@ -266,6 +290,11 @@ class Engine {
   Network network_;
 
   std::vector<std::unique_ptr<MachineContext>> contexts_;
+
+  /// Recreated at the top of each traced run; machine threads write their
+  /// own buffers through MachineContext::trace_, the fold/finalize hooks
+  /// write the counter/link streams under the barrier's fold protocol.
+  std::shared_ptr<TraceSession> trace_;
 
   TreeBarrier barrier_;
   // Fold-phase state: written only while holding barrier_.fold_phase —

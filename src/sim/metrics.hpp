@@ -31,6 +31,32 @@ struct SuperstepStats {
                          const SuperstepStats&) = default;
 };
 
+/// Wall-time phase breakdown for one machine, folded from its trace
+/// spans (sim/trace.hpp).  compute_ms excludes the nested send time, so
+/// compute + send + barrier_wait + deliver ≈ the machine's share of the
+/// run's wall time (tests/test_trace.cpp pins the tolerance).
+struct MachinePhaseMs {
+  std::uint32_t machine = 0;
+  double compute_ms = 0.0;
+  double send_ms = 0.0;
+  double barrier_wait_ms = 0.0;
+  double deliver_ms = 0.0;
+};
+
+/// Aggregate timing view of a traced run.  Like `wall_ms`, none of this
+/// is part of the deterministic run identity: the `timing` object in
+/// km.run_result/v1 is exempt from golden diffs.  `barrier_wait_skew`
+/// (max/mean total barrier wait across machines) is the straggler
+/// signature: ~1 means machines arrive together, >>1 means one machine
+/// serializes the superstep for everyone.
+struct TimingSummary {
+  bool enabled = false;  ///< true iff the run was traced
+  std::vector<MachinePhaseMs> per_machine;
+  double barrier_wait_max_ms = 0.0;
+  double barrier_wait_mean_ms = 0.0;
+  double barrier_wait_skew = 0.0;  ///< max/mean, 0 when mean is 0
+};
+
 struct Metrics {
   std::uint64_t rounds = 0;
   std::uint64_t supersteps = 0;
@@ -63,6 +89,11 @@ struct Metrics {
   /// thread's pool between acquires — the object pool is thrashing even
   /// if the byte pool is not.
   PayloadPoolCounters payload_pool;
+
+  /// Wall-time phase breakdown; `timing.enabled` is false unless the run
+  /// was traced (EngineConfig::trace).  Exempt from golden diffs like
+  /// `wall_ms` — wall time is not part of the deterministic run identity.
+  TimingSummary timing;
 
   /// Max bits received by any machine = empirical information cost bound.
   std::uint64_t max_recv_bits() const noexcept {

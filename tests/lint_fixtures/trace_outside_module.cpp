@@ -1,0 +1,16 @@
+// Fixture for the trace-outside-module rule. Never compiled; scanned by
+// tests/test_lint.cpp under an UNsanctioned logical path. Expected:
+// exactly one finding — the allow(wall-clock) escape below suppresses the
+// wall-clock rule but, outside src/sim/trace.* and src/sim/engine.cpp,
+// the escape itself is the violation.
+#include <chrono>
+
+long smuggled_stamp() {
+  // km-lint: allow(wall-clock) -- not honoured outside the trace module
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long doubly_escaped_stamp() {
+  // km-lint: allow(wall-clock, trace-outside-module) -- fixture only
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -3,9 +3,12 @@
 // and diffed field-by-field against a fresh run.  An engine or
 // accounting refactor that changes rounds/bits/messages — or any output
 // or schema field — fails here with the exact line that moved, instead
-// of slipping through as a silent behavioral change.  The only field
-// exempt from the diff is wall_ms (the one value that legitimately
-// varies between identical-seed runs; results.hpp documents this).
+// of slipping through as a silent behavioral change.  The documented
+// exempt-key set — wall_ms (a scalar) and timing (a whole object,
+// present only on traced runs) — is stripped from BOTH sides before
+// diffing: those are the values that legitimately vary between
+// identical-seed runs (results.hpp documents both).  Everything else,
+// including new schema fields, diffs byte for byte.
 //
 // Regenerate intentionally with:
 //   KM_UPDATE_GOLDEN=1 ./build/tests/test_golden_metrics
@@ -63,15 +66,44 @@ std::string render_current(const Workload& workload,
   return run_result_to_json(run_workload(workload, dataset, params)) + "\n";
 }
 
-bool is_exempt(const std::string& line) {
-  return line.find("\"wall_ms\":") != std::string::npos;
+/// The exempt-key set.  A key here is dropped from the diff wherever it
+/// appears; when its value opens an object or array, the whole block is
+/// dropped (brace/bracket depth tracking), so `"timing": { ... }`
+/// vanishes as a unit.  Keep this list in sync with the results.hpp
+/// schema doc and tests/test_trace.cpp's strip_exempt.
+const std::vector<std::string>& exempt_keys() {
+  static const std::vector<std::string> keys = {"\"wall_ms\":",
+                                                "\"timing\":"};
+  return keys;
 }
 
-std::vector<std::string> split_lines(const std::string& text) {
+/// Splits `text` into lines with exempt scalars and blocks removed.
+std::vector<std::string> strip_exempt(const std::string& text) {
   std::vector<std::string> lines;
   std::istringstream in(text);
   std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
+  int depth = 0;  // nesting depth inside an exempt block, 0 = outside
+  while (std::getline(in, line)) {
+    if (depth > 0) {
+      for (char c : line) {
+        if (c == '{' || c == '[') ++depth;
+        if (c == '}' || c == ']') --depth;
+      }
+      continue;
+    }
+    bool exempt = false;
+    for (const std::string& key : exempt_keys()) {
+      const std::size_t pos = line.find(key);
+      if (pos == std::string::npos) continue;
+      exempt = true;
+      for (char c : line.substr(pos)) {  // value may open a block
+        if (c == '{' || c == '[') ++depth;
+        if (c == '}' || c == ']') --depth;
+      }
+      break;
+    }
+    if (!exempt) lines.push_back(line);
+  }
   return lines;
 }
 
@@ -109,14 +141,14 @@ TEST(GoldenMetrics, SnapshotsMatchFieldByField) {
     std::stringstream buffer;
     buffer << in.rdbuf();
 
-    const std::vector<std::string> want = split_lines(buffer.str());
-    const std::vector<std::string> got = split_lines(current);
+    const std::vector<std::string> want = strip_exempt(buffer.str());
+    const std::vector<std::string> got = strip_exempt(current);
     const std::size_t lines = std::min(want.size(), got.size());
     for (std::size_t i = 0; i < lines; ++i) {
-      if (is_exempt(want[i]) && is_exempt(got[i])) continue;
       EXPECT_EQ(got[i], want[i])
           << name << ".json line " << (i + 1)
-          << " changed — if intentional, regenerate with KM_UPDATE_GOLDEN=1";
+          << " (exempt keys stripped) changed — if intentional, "
+             "regenerate with KM_UPDATE_GOLDEN=1";
       if (got[i] != want[i]) break;  // first divergence is the story
     }
     EXPECT_EQ(got.size(), want.size()) << name << ".json length changed";

@@ -34,14 +34,14 @@ std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
   return ids;
 }
 
-TEST(LintRules, CatalogueListsAllSixRules) {
+TEST(LintRules, CatalogueListsAllSevenRules) {
   std::vector<std::string> ids;
   for (const km::lint::RuleInfo& r : km::lint::rules()) {
     ids.emplace_back(r.id);
   }
   const std::vector<std::string> expected = {
-      "random-device", "c-rand",         "wall-clock",
-      "pointer-key-map", "unordered-iter", "unseeded-rng"};
+      "random-device",  "c-rand",        "wall-clock",   "pointer-key-map",
+      "unordered-iter", "unseeded-rng",  "trace-outside-module"};
   EXPECT_EQ(ids, expected);
   for (const km::lint::RuleInfo& r : km::lint::rules()) {
     EXPECT_FALSE(r.summary.empty()) << r.id;
@@ -77,7 +77,12 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"random_device.cpp", "tests/random_device.cpp",
                     "random-device"},
         FixtureCase{"c_rand.cpp", "tests/c_rand.cpp", "c-rand"},
-        FixtureCase{"wall_clock.cpp", "tests/wall_clock.cpp", "wall-clock"},
+        // wall_clock's allowed counterpart must sit on a sanctioned path
+        // or its escape would fire trace-outside-module.
+        FixtureCase{"wall_clock.cpp", "src/sim/trace.cpp", "wall-clock"},
+        FixtureCase{"trace_outside_module.cpp",
+                    "src/runtime/trace_outside_module.cpp",
+                    "trace-outside-module"},
         FixtureCase{"pointer_key_map.cpp", "tests/pointer_key_map.cpp",
                     "pointer-key-map"},
         // unordered-iter is path-scoped: scan under src/sim/.
@@ -133,6 +138,26 @@ TEST(LintRules, AllowForOtherRuleDoesNotSuppress) {
                   "std::random_device rd;\n");
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "random-device");
+}
+
+TEST(LintRules, WallClockEscapeIsScopedToTheTraceModule) {
+  const std::string code =
+      "// km-lint: allow(wall-clock) -- timing\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  // Sanctioned homes: the tracing module and engine.cpp's wall_ms reads.
+  EXPECT_TRUE(scan_source("src/sim/trace.cpp", code).empty());
+  EXPECT_TRUE(scan_source("src/sim/trace.hpp", code).empty());
+  EXPECT_TRUE(scan_source("src/sim/engine.cpp", code).empty());
+  // Anywhere else the escape comment itself is the finding.
+  const auto findings = scan_source("src/runtime/results.cpp", code);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "trace-outside-module");
+  // An unescaped clock read still fires plain wall-clock, once.
+  const auto bare = scan_source(
+      "src/runtime/results.cpp",
+      "auto t = std::chrono::steady_clock::now();\n");
+  ASSERT_EQ(bare.size(), 1u);
+  EXPECT_EQ(bare[0].rule, "wall-clock");
 }
 
 TEST(LintRules, PointerKeyDetectsNestedAndConstKeys) {

@@ -1,0 +1,32 @@
+# TraceSmokeCheck: runs one traced scenario end-to-end through the km_run
+# CLI and validates both exports with km_trace_check.  This is the
+# integration seam the unit suite cannot cover: flag parsing, file
+# writing, and the checker binary's exit-code contract, all in one go.
+#
+# Invoked by CTest (see tests/CMakeLists.txt) as:
+#   cmake -DKM_RUN=<km_run> -DKM_TRACE_CHECK=<km_trace_check>
+#         -DOUT_DIR=<scratch dir> -P trace_smoke.cmake
+foreach(var KM_RUN KM_TRACE_CHECK OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "trace_smoke.cmake: ${var} is not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+set(trace_json ${OUT_DIR}/smoke_trace.json)
+set(links_json ${OUT_DIR}/smoke_trace.links.json)
+
+execute_process(
+  COMMAND ${KM_RUN} run --workload components --dataset gnp:n=64,p=0.05
+          --k 4 --seed 7 --trace ${trace_json} --trace-links
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "km_run --trace --trace-links failed (exit ${run_rc})")
+endif()
+
+execute_process(
+  COMMAND ${KM_TRACE_CHECK} ${trace_json} --links ${links_json} --expect-k 4
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "km_trace_check rejected the exports (exit ${check_rc})")
+endif()

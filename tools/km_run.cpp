@@ -9,8 +9,15 @@
 //   km_run run --workload mst --dataset gnp:n=1000,p=0.01 --k 8
 //              [--B 0] [--seed 1] [--frame-bytes 256] [--timeline true]
 //              [--check true] [--json out.json]
+//              [--trace trace.json] [--trace-links]
 //       Run one scenario; print a summary line and optionally write the
 //       km.run_result/v1 JSON document (--json - writes it to stdout).
+//       --trace captures the superstep tracing plane (sim/trace.hpp) and
+//       writes a Chrome/Perfetto trace-event file — open it at
+//       https://ui.perfetto.dev or chrome://tracing.  --trace-links also
+//       records the per-superstep k x k link-bits matrices, written next
+//       to the trace as <trace>.links.json.  Tracing never changes
+//       rounds/bits accounting.
 //
 //   km_run sweep --workload mst --dataset gnp:n=1000,p=0.01
 //                --k 4,8,16 [--B ...] [--n ...] [--seed 1]
@@ -32,6 +39,7 @@
 #include "runtime/dataset.hpp"
 #include "runtime/results.hpp"
 #include "runtime/workload.hpp"
+#include "sim/trace.hpp"
 #include "util/options.hpp"
 #include "util/parse.hpp"
 
@@ -48,13 +56,17 @@ int usage(const char* error) {
                "               [--seed 1] [--frame-bytes 256]\n"
                "               [--timeline true] [--check true]\n"
                "               [--json PATH|-]\n"
+               "               [--trace PATH] [--trace-links]\n"
                "  km_run sweep --workload W --dataset SPEC --k K1,K2,...\n"
                "               [--B B1,...] [--n N1,...] [--seed 1]\n"
                "               [--frame-bytes 256]\n"
                "               [--out-dir sweep-results] [--timeline true]\n"
                "               [--check true]\n\n"
                "--frame-bytes sets the message-plane framing threshold\n"
-               "(transport batching only; 0 disables, metrics identical).\n\n"
+               "(transport batching only; 0 disables, metrics identical).\n"
+               "--trace writes a Chrome/Perfetto trace-event JSON (open in\n"
+               "ui.perfetto.dev); --trace-links adds per-superstep k x k\n"
+               "link-bit matrices as <trace>.links.json. Metrics identical.\n\n"
                "%s\n",
                dataset_grammar_help().c_str());
   return 2;
@@ -121,9 +133,21 @@ RunParams params_from(const Options& opts, std::uint64_t k, std::uint64_t B) {
   return params;
 }
 
+/// "out.json" -> "out.links.json"; extensionless paths just append.
+std::string links_path_for(const std::string& trace_path) {
+  const std::string suffix = ".json";
+  if (trace_path.size() > suffix.size() &&
+      trace_path.compare(trace_path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+    return trace_path.substr(0, trace_path.size() - suffix.size()) +
+           ".links.json";
+  }
+  return trace_path + ".links.json";
+}
+
 int cmd_run(const Options& opts) {
   opts.reject_unknown({"workload", "dataset", "k", "B", "seed", "frame-bytes",
-                       "timeline", "check", "json"});
+                       "timeline", "check", "json", "trace", "trace-links"});
   const std::string workload_name = opts.get_string("workload", "");
   const std::string spec_text = opts.get_string("dataset", "");
   if (workload_name.empty()) return usage("run: --workload is required");
@@ -134,10 +158,20 @@ int cmd_run(const Options& opts) {
     throw OptionsError("flag --json is missing its output path (use - for "
                        "stdout)");
   }
+  const std::string trace_path = opts.get_string("trace", "");
+  if (opts.has("trace") && trace_path.empty()) {
+    throw OptionsError("flag --trace is missing its output path");
+  }
+  const bool trace_links = opts.get_bool("trace-links", false);
+  if (trace_links && trace_path.empty()) {
+    throw OptionsError("flag --trace-links requires --trace PATH");
+  }
 
   const Workload* workload = find_workload_or_die(workload_name);
-  const RunParams params =
+  RunParams params =
       params_from(opts, opts.get_uint("k", 8), opts.get_uint("B", 0));
+  params.trace = !trace_path.empty();
+  params.trace_links = trace_links;
   const Dataset dataset =
       load_dataset(spec_text, workload->input_kind(), params.seed);
   const RunResult result = run_workload(*workload, dataset, params);
@@ -148,6 +182,21 @@ int cmd_run(const Options& opts) {
   } else if (!json_path.empty()) {
     write_run_result_json(json_path, result);
     std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (result.trace) {
+    result.trace->write_chrome_trace(
+        trace_path, result.workload + " on " + result.dataset_spec);
+    std::printf("wrote %s\n", trace_path.c_str());
+    if (trace_links) {
+      const std::string links_path = links_path_for(trace_path);
+      result.trace->write_link_matrix_json(links_path);
+      std::printf("wrote %s\n", links_path.c_str());
+    }
+  } else if (params.trace) {
+    // Tracing compiled out (KM_DISABLE_TRACING): say so instead of
+    // silently writing nothing.
+    std::fprintf(stderr,
+                 "km_run: --trace ignored (built with KM_DISABLE_TRACING)\n");
   }
   return result.check.performed && !result.check.ok ? 1 : 0;
 }

@@ -168,7 +168,7 @@ std::size_t skip_ws(std::string_view line, std::size_t pos) {
   return pos;
 }
 
-constexpr std::array<RuleInfo, 6> kRules = {{
+constexpr std::array<RuleInfo, 7> kRules = {{
     {"random-device",
      "std::random_device is hardware entropy; runs can never reproduce. "
      "Derive randomness from util/rng.hpp (seeded from config.seed)."},
@@ -189,6 +189,11 @@ constexpr std::array<RuleInfo, 6> kRules = {{
     {"unseeded-rng",
      "<random> engine constructed without a seed ignores the run's seed "
      "cell (always default_seed). Seed it from the machine RNG."},
+    {"trace-outside-module",
+     "'km-lint: allow(wall-clock)' outside the sanctioned clock sites "
+     "(src/sim/trace.* and the wall_ms reads in src/sim/engine.cpp). New "
+     "timing code belongs in the tracing plane (sim/trace.hpp), not "
+     "behind a fresh escape."},
 }};
 
 const RuleInfo& rule_info(std::string_view id) {
@@ -294,10 +299,31 @@ struct Scanner {
     }
   }
 
+  // The only places allowed to escape the wall-clock rule: the tracing
+  // module (the clock's designated home, sim/trace.{hpp,cpp}) and the
+  // wall_ms reads in sim/engine.cpp.  Everywhere else the escape comment
+  // itself is the trace-outside-module finding — a clock read cannot be
+  // waved through by annotation alone, it has to live in the plane built
+  // for it.
+  static bool wall_clock_sanctioned(std::string_view path) noexcept {
+    constexpr std::string_view kTraceModule = "src/sim/trace.";
+    return path.substr(0, kTraceModule.size()) == kTraceModule ||
+           path == "src/sim/engine.cpp";
+  }
+
+  void fire_wall_clock(std::size_t i) {
+    fire(i, "wall-clock");
+    const bool escaped = allow_on_line(raw[i], "wall-clock") ||
+                         (i > 0 && allow_on_line(raw[i - 1], "wall-clock"));
+    if (escaped && !wall_clock_sanctioned(path)) {
+      fire(i, "trace-outside-module");
+    }
+  }
+
   void scan_wall_clock(std::size_t i, std::string_view line) {
     for (std::string_view needle : kWallClockNeedles) {
       if (line.find(needle) != std::string_view::npos) {
-        fire(i, "wall-clock");
+        fire_wall_clock(i);
         return;
       }
     }
@@ -305,7 +331,7 @@ struct Scanner {
     for (std::size_t pos : bounded_occurrences(line, "clock")) {
       const std::size_t after = skip_ws(line, pos + 5);
       if (after < line.size() && line[after] == '(') {
-        fire(i, "wall-clock");
+        fire_wall_clock(i);
         return;
       }
     }

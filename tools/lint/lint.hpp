@@ -33,6 +33,15 @@
 //                   (std::mt19937 g;) uses default_seed — deterministic
 //                   but seed-blind: it silently ignores the run's seed
 //                   cell.  Construct from the machine RNG instead.
+//   trace-outside-module
+//                   the allow(wall-clock) escape is honoured only in the
+//                   sanctioned clock sites: the tracing plane
+//                   (src/sim/trace.{hpp,cpp}, the clock's designated
+//                   home) and the wall_ms reads in src/sim/engine.cpp.
+//                   Anywhere else the escape comment itself fires this
+//                   rule, so a clock read cannot be waved through by
+//                   annotation alone — timing instrumentation must go
+//                   through sim/trace.hpp.
 //
 // Matching runs on code only: string/char literals and comments are
 // blanked first, so naming a banned construct in a comment (or in this

@@ -1,0 +1,505 @@
+#include "trace_check.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+namespace km::trace_check {
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string& error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing garbage after document");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& what) {
+    error_ = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ >= text_.size() || text_[pos_] != expected) {
+      return fail(std::string("expected '") + expected + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+      case 'f':
+        return parse_literal(out);
+      case 'n':
+        return parse_literal(out);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_literal(JsonValue& out) {
+    const auto match = [&](std::string_view word) {
+      if (text_.substr(pos_, word.size()) != word) return false;
+      pos_ += word.size();
+      return true;
+    };
+    if (match("true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t begin = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == begin) return fail("expected a value");
+    const std::string token(text_.substr(begin, pos_ - begin));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      pos_ = begin;
+      return fail("malformed number");
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = value;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("malformed \\u escape");
+          }
+          // UTF-8 encode (BMP only; the trace writer never emits
+          // surrogate pairs).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("invalid escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    if (!consume('[')) return false;
+    out.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      skip_ws();
+      if (!parse_value(element, depth + 1)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    if (!consume('{')) return false;
+    out.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::string& error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse_json(std::string_view text, JsonValue& out, std::string& error) {
+  return Parser(text, error).parse(out);
+}
+
+// ---------------------------------------------------------------------------
+// Checkers
+
+namespace {
+
+bool get_number(const JsonValue& obj, std::string_view key, double& out) {
+  const JsonValue* v = obj.find(key);
+  if (!v || !v->is(JsonValue::Kind::kNumber)) return false;
+  out = v->number;
+  return true;
+}
+
+bool get_string(const JsonValue& obj, std::string_view key, std::string& out) {
+  const JsonValue* v = obj.find(key);
+  if (!v || !v->is(JsonValue::Kind::kString)) return false;
+  out = v->string;
+  return true;
+}
+
+/// A number that is a non-negative integer (tids, counters, supersteps).
+bool is_uint(double v) {
+  return v >= 0.0 && v == std::floor(v);
+}
+
+void add_error(CheckResult& result, std::size_t index,
+               const std::string& what) {
+  // Cap the noise on badly broken documents; the first errors identify
+  // the problem, the count says how widespread it is.
+  if (result.errors.size() < 32) {
+    result.errors.push_back("event[" + std::to_string(index) + "]: " + what);
+  }
+}
+
+}  // namespace
+
+CheckResult check_chrome_trace(const JsonValue& doc, std::size_t expect_k) {
+  CheckResult result;
+  if (!doc.is(JsonValue::Kind::kObject)) {
+    result.errors.push_back("document: not a JSON object");
+    return result;
+  }
+  const JsonValue* events = doc.find("traceEvents");
+  if (!events || !events->is(JsonValue::Kind::kArray)) {
+    result.errors.push_back("document: missing \"traceEvents\" array");
+    return result;
+  }
+
+  std::map<double, std::string> thread_names;  // tid -> name
+  std::map<double, double> last_ts;            // tid -> last X-event ts
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    if (!ev.is(JsonValue::Kind::kObject)) {
+      add_error(result, i, "not an object");
+      continue;
+    }
+    std::string ph;
+    if (!get_string(ev, "ph", ph)) {
+      add_error(result, i, "missing \"ph\"");
+      continue;
+    }
+    double pid = 0.0;
+    if (!get_number(ev, "pid", pid) || !is_uint(pid)) {
+      add_error(result, i, "missing or non-integer \"pid\"");
+      continue;
+    }
+    if (ph == "M") {
+      std::string name;
+      if (!get_string(ev, "name", name)) {
+        add_error(result, i, "metadata event without \"name\"");
+        continue;
+      }
+      const JsonValue* args = ev.find("args");
+      std::string value;
+      if (!args || !get_string(*args, "name", value) || value.empty()) {
+        add_error(result, i, "metadata \"" + name + "\" without args.name");
+        continue;
+      }
+      if (name == "thread_name") {
+        double tid = 0.0;
+        if (!get_number(ev, "tid", tid) || !is_uint(tid)) {
+          add_error(result, i, "thread_name without integer \"tid\"");
+          continue;
+        }
+        if (!thread_names.emplace(tid, value).second) {
+          add_error(result, i,
+                    "duplicate thread_name for tid " + std::to_string(tid));
+        }
+      } else if (name != "process_name") {
+        add_error(result, i, "unknown metadata \"" + name + "\"");
+      }
+      continue;
+    }
+    if (ph == "X") {
+      ++result.span_events;
+      std::string name;
+      double tid = 0.0, ts = 0.0, dur = 0.0;
+      if (!get_string(ev, "name", name) || name.empty()) {
+        add_error(result, i, "slice without \"name\"");
+        continue;
+      }
+      if (!get_number(ev, "tid", tid) || !is_uint(tid)) {
+        add_error(result, i, "slice without integer \"tid\"");
+        continue;
+      }
+      if (!get_number(ev, "ts", ts) || ts < 0.0) {
+        add_error(result, i, "slice without non-negative \"ts\"");
+        continue;
+      }
+      if (!get_number(ev, "dur", dur) || dur < 0.0) {
+        add_error(result, i, "slice without non-negative \"dur\"");
+        continue;
+      }
+      const JsonValue* args = ev.find("args");
+      double superstep = 0.0;
+      if (!args || !get_number(*args, "superstep", superstep) ||
+          !is_uint(superstep)) {
+        add_error(result, i, "slice without integer args.superstep");
+      }
+      // Per-machine buffers record in time order; the exporter preserves
+      // it.  Regression here means the span plumbing is broken.
+      const auto [it, inserted] = last_ts.emplace(tid, ts);
+      if (!inserted) {
+        if (ts < it->second) {
+          add_error(result, i,
+                    "timestamps regress on tid " + std::to_string(tid));
+        }
+        it->second = ts;
+      }
+      continue;
+    }
+    if (ph == "C") {
+      ++result.counter_events;
+      std::string name;
+      double ts = 0.0;
+      if (!get_string(ev, "name", name) || name.empty()) {
+        add_error(result, i, "counter without \"name\"");
+        continue;
+      }
+      if (!get_number(ev, "ts", ts) || ts < 0.0) {
+        add_error(result, i, "counter without non-negative \"ts\"");
+        continue;
+      }
+      const JsonValue* args = ev.find("args");
+      if (!args || !args->is(JsonValue::Kind::kObject) ||
+          args->object.empty()) {
+        add_error(result, i, "counter without args");
+        continue;
+      }
+      for (const auto& [key, value] : args->object) {
+        if (!value.is(JsonValue::Kind::kNumber)) {
+          add_error(result, i, "counter arg \"" + key + "\" not a number");
+        }
+      }
+      continue;
+    }
+    add_error(result, i, "unexpected ph \"" + ph + "\"");
+  }
+
+  result.machines = thread_names.size();
+  if (result.span_events == 0) {
+    result.errors.push_back("document: no ph \"X\" span events");
+  }
+  // Every slice must land on a named machine track.
+  for (const auto& [tid, ts] : last_ts) {
+    (void)ts;
+    if (thread_names.find(tid) == thread_names.end()) {
+      result.errors.push_back("document: slices on unnamed tid " +
+                              std::to_string(tid));
+    }
+  }
+  if (expect_k != 0 && thread_names.size() != expect_k) {
+    result.errors.push_back(
+        "document: expected " + std::to_string(expect_k) +
+        " machine threads, found " + std::to_string(thread_names.size()));
+  }
+  return result;
+}
+
+CheckResult check_link_trace(const JsonValue& doc, std::size_t expect_k) {
+  CheckResult result;
+  if (!doc.is(JsonValue::Kind::kObject)) {
+    result.errors.push_back("document: not a JSON object");
+    return result;
+  }
+  std::string schema;
+  if (!get_string(doc, "schema", schema) || schema != "km.link_trace/v1") {
+    result.errors.push_back("document: schema is not \"km.link_trace/v1\"");
+    return result;
+  }
+  double k_value = 0.0;
+  if (!get_number(doc, "k", k_value) || !is_uint(k_value) || k_value < 1.0) {
+    result.errors.push_back("document: missing positive integer \"k\"");
+    return result;
+  }
+  const std::size_t k = static_cast<std::size_t>(k_value);
+  result.machines = k;
+  if (expect_k != 0 && k != expect_k) {
+    result.errors.push_back("document: expected k=" +
+                            std::to_string(expect_k) + ", found k=" +
+                            std::to_string(k));
+  }
+  const JsonValue* supersteps = doc.find("supersteps");
+  if (!supersteps || !supersteps->is(JsonValue::Kind::kArray)) {
+    result.errors.push_back("document: missing \"supersteps\" array");
+    return result;
+  }
+  double prev_superstep = -1.0;
+  for (std::size_t i = 0; i < supersteps->array.size(); ++i) {
+    const JsonValue& entry = supersteps->array[i];
+    const std::string where = "supersteps[" + std::to_string(i) + "]";
+    if (!entry.is(JsonValue::Kind::kObject)) {
+      result.errors.push_back(where + ": not an object");
+      continue;
+    }
+    double superstep = 0.0;
+    if (!get_number(entry, "superstep", superstep) || !is_uint(superstep)) {
+      result.errors.push_back(where + ": missing integer \"superstep\"");
+      continue;
+    }
+    if (superstep <= prev_superstep) {
+      result.errors.push_back(where + ": superstep indices not increasing");
+    }
+    prev_superstep = superstep;
+    const JsonValue* bits = entry.find("bits");
+    if (!bits || !bits->is(JsonValue::Kind::kArray) ||
+        bits->array.size() != k) {
+      result.errors.push_back(where + ": \"bits\" is not a k-row array");
+      continue;
+    }
+    ++result.matrices;
+    for (std::size_t src = 0; src < k; ++src) {
+      const JsonValue& row = bits->array[src];
+      if (!row.is(JsonValue::Kind::kArray) || row.array.size() != k) {
+        result.errors.push_back(where + ": row " + std::to_string(src) +
+                                " is not length k");
+        continue;
+      }
+      for (std::size_t dst = 0; dst < k; ++dst) {
+        const JsonValue& cell = row.array[dst];
+        if (!cell.is(JsonValue::Kind::kNumber) || !is_uint(cell.number)) {
+          result.errors.push_back(where + ": cell [" + std::to_string(src) +
+                                  "][" + std::to_string(dst) +
+                                  "] is not a non-negative integer");
+        } else if (src == dst && cell.number != 0.0) {
+          result.errors.push_back(where + ": nonzero diagonal at machine " +
+                                  std::to_string(src));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace km::trace_check

@@ -1,0 +1,74 @@
+// km_trace_check: structural validator for the superstep tracing plane's
+// export formats (sim/trace.hpp).
+//
+// Two documents, two checkers:
+//  - check_chrome_trace: Chrome/Perfetto trace-event JSON ("traceEvents"
+//    array).  Verifies every event is well-formed for its ph type, X
+//    slices have non-negative durations and per-tid non-decreasing
+//    timestamps (the per-machine buffers record in time order — a
+//    violation means the trace plane is broken, not just ugly), thread
+//    names are unique per tid, and — with expect_k — that exactly k
+//    machine threads are named.
+//  - check_link_trace: the km.link_trace/v1 document.  Verifies the k x k
+//    shape of every matrix, a zero diagonal (machines never message
+//    themselves), and strictly increasing superstep indices.
+//
+// The JSON layer is a deliberately tiny recursive-descent parser (no
+// external dependency, same spirit as util/json.hpp on the write side).
+// Objects preserve insertion order as a vector of pairs — no unordered
+// containers, so the checker itself stays km_lint-clean.
+//
+// Built as a library (km_trace_check_lib) so tests/test_trace.cpp can
+// validate exports in-process, plus the km_trace_check CLI for CI.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace km::trace_check {
+
+/// Minimal JSON document model.  One struct instead of a variant so the
+/// recursive type stays simple; `kind` says which payload field is live.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Members in document order.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is(Kind k) const noexcept { return kind == k; }
+  /// First member named `key`, or nullptr (valid only on objects).
+  const JsonValue* find(std::string_view key) const noexcept;
+};
+
+/// Parses `text` into `out`.  Returns false and sets `error` (with byte
+/// offset) on malformed input.  Full document: trailing garbage is an
+/// error.
+bool parse_json(std::string_view text, JsonValue& out, std::string& error);
+
+struct CheckResult {
+  std::vector<std::string> errors;  ///< empty means the document is valid
+  std::size_t machines = 0;         ///< distinct named machine tids / k
+  std::size_t span_events = 0;      ///< ph "X" slices seen
+  std::size_t counter_events = 0;   ///< ph "C" samples seen
+  std::size_t matrices = 0;         ///< link matrices seen
+
+  bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Validates a Chrome/Perfetto trace-event document.  `expect_k` == 0
+/// accepts any machine count; nonzero requires exactly that many named
+/// machine threads.
+CheckResult check_chrome_trace(const JsonValue& doc, std::size_t expect_k);
+
+/// Validates a km.link_trace/v1 document (same expect_k convention).
+CheckResult check_link_trace(const JsonValue& doc, std::size_t expect_k);
+
+}  // namespace km::trace_check
