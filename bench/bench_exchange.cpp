@@ -9,13 +9,16 @@
 // cases live on the per-link frame batching path); (3) two-hop shuffle —
 // route_via_random_intermediate, so envelope (re)serialization dominates;
 // (4) barrier latency — empty supersteps at k up to 256, so the tree
-// barrier's rendezvous and wake-up are the whole cost.  Throughput
+// barrier's rendezvous and wake-up are the whole cost; (5) speedup vs
+// workers — a compute-bound fleet at every pool width, so the series
+// reads directly as the executor's parallel efficiency.  Throughput
 // counters are bytes of payload handed to the message plane per second,
 // which makes before/after comparisons of the plane itself meaningful.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
 #include "sim/routing.hpp"
+#include "util/hash.hpp"
 
 namespace {
 
@@ -195,9 +198,11 @@ BENCHMARK(BM_TwoHopShuffle)->Arg(1024)->Arg(8192)
 
 void BM_BarrierLatency(benchmark::State& state) {
   // Empty supersteps: no messages move, so the whole per-step cost is the
-  // rendezvous — tree arrival, root finalize, sense-flip wake-up.  The
-  // k = 256 case exercises a 4-level tree; one engine run amortizes the
-  // k thread spawns over kSteps barriers.
+  // rendezvous — tree arrival, root finalize, and (now that machines are
+  // fibers on a worker pool) the scheduler pass that resumes released
+  // fibers instead of a per-machine futex wake.  The k = 256 case
+  // exercises a 4-level tree multiplexed over the default worker count;
+  // one engine run amortizes the pool spawn over kSteps barriers.
   const auto machines = static_cast<std::size_t>(state.range(0));
   constexpr int kSteps = 16;
   for (auto _ : state) {
@@ -214,6 +219,49 @@ void BM_BarrierLatency(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_BarrierLatency)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_SpeedupVsWorkers(benchmark::State& state) {
+  // Executor scaling: 64 compute-bound machines multiplexed over
+  // range(0) workers.  Each machine burns a fixed hash-mixing loop per
+  // superstep and sends one tiny message around a ring, so wall time is
+  // dominated by machine compute and the series over workers in
+  // {1, 2, 4, 8, ...} reads directly as parallel speedup — flat rows
+  // past the core count show the pool saturating, and the workers=1 row
+  // doubles as the pure-multiplexing (zero-contention) baseline any
+  // scheduler overhead would show up in.
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kFleet = 64;
+  constexpr int kSteps = 8;
+  constexpr int kMixesPerStep = 20000;
+  Metrics metrics;
+  for (auto _ : state) {
+    Engine engine(kFleet, {.bandwidth_bits = kBandwidth, .seed = 26,
+                           .workers = workers});
+    metrics = engine.run([&](MachineContext& ctx) {
+      std::uint64_t acc = ctx.id();
+      for (int step = 0; step < kSteps; ++step) {
+        for (int i = 0; i < kMixesPerStep; ++i) {
+          acc = mix64(acc, static_cast<std::uint64_t>(i));
+        }
+        benchmark::DoNotOptimize(acc);
+        Writer w;
+        w.put_varint(acc);
+        ctx.send((ctx.id() + 1) % kFleet, 5, w);
+        const auto in = ctx.exchange();
+        if (in.size() != 1) {
+          throw std::logic_error("bench_exchange: lost ring message");
+        }
+        benchmark::DoNotOptimize(in.data());
+      }
+    });
+  }
+  state.counters["rounds"] = static_cast<double>(metrics.rounds);
+  state.counters["supersteps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kSteps),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpeedupVsWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 }  // namespace

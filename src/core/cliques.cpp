@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/detail/sorted.hpp"
 #include "util/hash.hpp"
 
 namespace km {
@@ -61,10 +62,10 @@ struct LocalEdges {
     adj[v].push_back(u);
   }
   void finalize() {
-    for (auto& [v, ns] : adj) {
+    detail::for_sorted(adj, [](Vertex, std::vector<Vertex>& ns) {
       std::sort(ns.begin(), ns.end());
       ns.erase(std::unique(ns.begin(), ns.end()), ns.end());
-    }
+    });
   }
   bool has_edge(Vertex u, Vertex v) const {
     const auto it = adj.find(u);
@@ -273,7 +274,7 @@ CliqueResult distributed_four_cliques(const Graph& g,
           targets.insert(table.machine_of({x, y, z, w2}));
         }
       }
-      for (const std::size_t target : targets) {
+      for (const std::size_t target : detail::sorted_keys(targets)) {
         if (target == self) {
           worker_edges.emplace_back(a, b);
         } else {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/detail/sorted.hpp"
 #include "core/sketch.hpp"
 #include "util/hash.hpp"
 #include "util/mathx.hpp"
@@ -161,7 +162,8 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
           }
         }
         std::unordered_map<std::uint32_t, L0Sketch> folded;
-        for (auto& [c, sketch] : partial) {
+        for (const std::uint32_t c : detail::sorted_keys(partial)) {
+          L0Sketch& sketch = partial.at(c);
           const std::size_t proxy = proxy_of(c);
           if (proxy == self) {
             const auto [it, fresh] = folded.try_emplace(c, shape);
@@ -183,7 +185,8 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
           const auto c = static_cast<std::uint32_t>(r.get_varint());
           folded.try_emplace(c, shape).first->second.merge_serialized(r);
         }
-        for (const auto& [c, sketch] : folded) {
+        for (const std::uint32_t c : detail::sorted_keys(folded)) {
+          const L0Sketch& sketch = folded.at(c);
           if (sketch.empty_whp()) {
             finished_here.insert(c);
             continue;
@@ -248,7 +251,8 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
           std::unordered_map<std::uint32_t, SketchCell> folded;
           std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
               senders_now;
-          for (const auto& [c, cell] : partial) {
+          for (const std::uint32_t c : detail::sorted_keys(partial)) {
+            const SketchCell& cell = partial.at(c);
             const std::size_t proxy = proxy_of(c);
             if (proxy == self) {
               folded[c].merge(cell);
@@ -269,14 +273,16 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
             if (t == 0) senders_now[c].push_back(msg.src);
           }
           if (t == 0) {
-            for (auto& [c, who] : senders_now) {
+            for (const std::uint32_t c : detail::sorted_keys(senders_now)) {
+              auto& who = senders_now.at(c);
               std::sort(who.begin(), who.end());
               who.erase(std::unique(who.begin(), who.end()), who.end());
               senders[c] = std::move(who);
             }
           }
           // Proxy verdicts.
-          for (auto& [c, cell] : folded) {
+          for (const std::uint32_t c : detail::sorted_keys(folded)) {
+            auto& cell = folded.at(c);
             auto& iv = proxy_ival[c];
             if (t == 0) {
               if (cell.is_zero()) {
@@ -314,7 +320,8 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
           // needed after the final iteration, but the exchange itself
           // stays lockstep for every machine).
           if (t + 1 < iterations) {
-            for (const auto& [c, who] : senders) {
+            for (const std::uint32_t c : detail::sorted_keys(senders)) {
+              const auto& who = senders.at(c);
               const auto iv = proxy_ival.find(c);
               if (iv == proxy_ival.end()) continue;
               // A label declared dead was announced in iteration 0's
@@ -348,12 +355,12 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
 
       // ---- Label queries: who is on each end of the found edges? ----
       std::unordered_set<Vertex> query;
-      for (const auto& [c, edge] : found) {
-        query.insert(edge.a);
-        query.insert(edge.b);
+      for (const std::uint32_t c : detail::sorted_keys(found)) {
+        query.insert(found.at(c).a);
+        query.insert(found.at(c).b);
       }
       std::unordered_map<Vertex, std::uint32_t> vertex_label;
-      for (const Vertex v : query) {
+      for (const Vertex v : detail::sorted_keys(query)) {
         const std::size_t home = part.home(v);
         if (home == self) {
           vertex_label[v] = frag[index_of.at(v)];
@@ -379,7 +386,8 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
 
       // ---- Coin-flip hooking: tail components hook into heads. ----
       std::unordered_map<std::uint32_t, std::uint32_t> new_root;
-      for (const auto& [c, edge] : found) {
+      for (const std::uint32_t c : detail::sorted_keys(found)) {
+        const FoundEdge& edge = found.at(c);
         const std::uint32_t la = vertex_label.at(edge.a);
         const std::uint32_t lb = vertex_label.at(edge.b);
         if (la != c && lb != c) continue;  // stale sample: skip safely
@@ -403,7 +411,7 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
         for (const std::uint32_t c : frag) {
           if (!finished.contains(c)) distinct.insert(c);
         }
-        for (const std::uint32_t c : distinct) {
+        for (const std::uint32_t c : detail::sorted_keys(distinct)) {
           const std::size_t proxy = proxy_of(c);
           if (proxy == self) {
             const auto it = new_root.find(c);

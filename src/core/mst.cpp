@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/detail/sorted.hpp"
 #include "util/hash.hpp"
 #include "util/mathx.hpp"
 
@@ -132,7 +133,8 @@ DistributedMstResult run_boruvka(const WeightedGraph& g,
         }
       }
       std::unordered_map<std::uint32_t, FragState> proxy_state;
-      for (const auto& [f, cand] : local_best) {
+      for (const std::uint32_t f : detail::sorted_keys(local_best)) {
+        const Candidate& cand = local_best.at(f);
         const std::size_t proxy = proxy_of(f);
         if (proxy == self) {
           auto& st = proxy_state[f];
@@ -164,7 +166,8 @@ DistributedMstResult run_boruvka(const WeightedGraph& g,
       // pair minimum becomes the root via the min rule during pointer
       // jumping below.
       std::vector<std::pair<std::uint32_t, std::uint32_t>> drop_if_mutual;
-      for (auto& [f, st] : proxy_state) {
+      for (const std::uint32_t f : detail::sorted_keys(proxy_state)) {
+        FragState& st = proxy_state.at(f);
         st.ptr = st.moe.other_frag;
         st.record = true;
         const std::size_t target = proxy_of(st.moe.other_frag);
@@ -203,7 +206,8 @@ DistributedMstResult run_boruvka(const WeightedGraph& g,
       // pair minimum, which thereby becomes the root.
       for (std::size_t jump = 0; jump < jump_iters; ++jump) {
         bool changed = false;
-        for (const auto& [f, st] : proxy_state) {
+        for (const std::uint32_t f : detail::sorted_keys(proxy_state)) {
+          const FragState& st = proxy_state.at(f);
           const std::size_t target = proxy_of(st.ptr);
           if (target == self) continue;  // resolved locally below
           Writer w;
@@ -221,7 +225,8 @@ DistributedMstResult run_boruvka(const WeightedGraph& g,
           return next;
         };
         std::vector<std::pair<std::uint32_t, std::uint32_t>> local_updates;
-        for (const auto& [f, st] : proxy_state) {
+        for (const std::uint32_t f : detail::sorted_keys(proxy_state)) {
+          const FragState& st = proxy_state.at(f);
           if (proxy_of(st.ptr) != self) continue;
           local_updates.emplace_back(f, answer(st.ptr, f));
         }
@@ -252,7 +257,8 @@ DistributedMstResult run_boruvka(const WeightedGraph& g,
 
       // ---- Emit this phase's MST edges at the proxies. ----
       std::uint64_t added_here = 0;
-      for (const auto& [f, st] : proxy_state) {
+      for (const std::uint32_t f : detail::sorted_keys(proxy_state)) {
+        const FragState& st = proxy_state.at(f);
         if (st.record && st.moe.valid) {
           emitted[self].push_back(st.moe.edge);
           ++added_here;
@@ -263,7 +269,7 @@ DistributedMstResult run_boruvka(const WeightedGraph& g,
       std::unordered_set<std::uint32_t> distinct_frags(frag.begin(),
                                                        frag.end());
       std::unordered_map<std::uint32_t, std::uint32_t> root_of;
-      for (const std::uint32_t f : distinct_frags) {
+      for (const std::uint32_t f : detail::sorted_keys(distinct_frags)) {
         const std::size_t proxy = proxy_of(f);
         if (proxy == self) {
           const auto it = proxy_state.find(f);

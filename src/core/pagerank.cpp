@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/detail/sorted.hpp"
 #include "util/mathx.hpp"
 
 namespace km {
@@ -125,7 +126,8 @@ PageRankResult run_pagerank(const Digraph& g, const VertexPartition& part,
             const Vertex v = outs[ctx.rng().below(outs.size())];
             ++beta[part.home(v)];
           }
-          for (const auto& [machine, count] : beta) {
+          for (const std::uint32_t machine : detail::sorted_keys(beta)) {
+            const std::uint64_t count = beta.at(machine);
             if (machine == self) {
               local_heavy.emplace_back(u, count);
             } else {
@@ -138,7 +140,8 @@ PageRankResult run_pagerank(const Digraph& g, const VertexPartition& part,
         }
         st.tokens[i] = 0;
       }
-      for (const auto& [v, count] : alpha) {
+      for (const Vertex v : detail::sorted_keys(alpha)) {
+        const std::uint64_t count = alpha.at(v);
         const std::uint32_t machine = part.home(v);
         if (machine == self) {
           local_light.emplace_back(v, count);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/detail/sorted.hpp"
 #include "util/hash.hpp"
 #include "util/mathx.hpp"
 
@@ -65,10 +66,10 @@ struct EdgeSet {
   }
 
   void finalize() {
-    for (auto& [v, ns] : adjacency) {
+    detail::for_sorted(adjacency, [](Vertex, std::vector<Vertex>& ns) {
       std::sort(ns.begin(), ns.end());
       ns.erase(std::unique(ns.begin(), ns.end()), ns.end());
-    }
+    });
   }
 
   bool has_edge(Vertex u, Vertex v) const {
@@ -275,7 +276,7 @@ TriangleResult run_triangles(const Graph& g, const VertexPartition& part,
       for (std::size_t z = 0; z < c; ++z) {
         targets.insert(table.machine_of(x, y, z));
       }
-      for (const std::size_t target : targets) {
+      for (const std::size_t target : detail::sorted_keys(targets)) {
         if (target == self) {
           worker_edges.emplace_back(a, b);
         } else {

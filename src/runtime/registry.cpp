@@ -100,7 +100,8 @@ RunResult run_workload(const Workload& workload, const Dataset& dataset,
                  .record_timeline = resolved.record_timeline,
                  .trace = resolved.trace,
                  .trace_links = resolved.trace_links,
-                 .framed_payload_max_bytes = resolved.frame_bytes});
+                 .framed_payload_max_bytes = resolved.frame_bytes,
+                 .workers = resolved.workers});
   RunResult result = workload.run(engine, dataset, resolved);
   result.trace = engine.trace_session();
   return result;

@@ -22,6 +22,11 @@ std::string run_result_to_json(const RunResult& result, int indent) {
   w.field("m", std::uint64_t{result.m});
   w.end_object();
 
+  // Only knobs that shape the result belong in `params` (it is the
+  // golden snapshots' parameter cell): trace/trace_links and workers are
+  // deliberately absent — tracing never perturbs rounds/bits, and the
+  // executor's worker count is pure scheduling (byte-identical documents
+  // at every setting; the Determinism suite sweeps it).
   w.key("params").begin_object();
   w.field("k", std::uint64_t{result.params.k});
   w.field("bandwidth_bits", result.params.bandwidth_bits);

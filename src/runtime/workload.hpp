@@ -46,6 +46,13 @@ struct RunParams {
   /// snapshots never see them.
   bool trace = false;
   bool trace_links = false;  ///< with trace: per-superstep k x k bit matrix
+  /// Worker threads the executor multiplexes the k machine fibers over
+  /// (EngineConfig::workers); 0 = hardware concurrency.  Execution
+  /// policy, not a simulation parameter: results are byte-identical at
+  /// every setting (the Determinism suite proves it), so like `trace` it
+  /// is deliberately absent from the serialized `params` object and
+  /// golden snapshots never see it.
+  std::size_t workers = 0;
 };
 
 /// Outcome of the sequential-reference verification.

@@ -96,6 +96,34 @@ class TreeBarrier {
   /// only folders may touch.
   template <typename Combine, typename Finalize>
   bool arrive(std::size_t who, Combine&& combine, Finalize&& finalize) {
+    if (arrive_begin(who, combine, finalize) == ArriveOutcome::kParked) {
+      // Thread-granular rendezvous: park this OS thread until the root
+      // flips the sense.
+      const std::uint32_t my_sense = local_[who].value;
+      std::uint32_t seen;
+      while ((seen = sense_.load(std::memory_order_acquire)) != my_sense) {
+        sense_.wait(seen, std::memory_order_acquire);
+      }
+    }
+    return stop_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// What arrive_begin() left the participant doing.
+  enum class ArriveOutcome {
+    kParked,    ///< not released yet: poll released(who) before resuming
+    kReleased,  ///< this participant ran finalize; the episode is over
+  };
+
+  /// The non-blocking half of arrive(), for machine-granular schedulers
+  /// (sim/executor.hpp): identical arrival/fold/finalize protocol, but a
+  /// participant that is not the last arriver of its node returns
+  /// kParked immediately instead of futex-waiting, so the worker thread
+  /// can run another machine.  The caller resumes the participant once
+  /// released(who) holds and then reads the stop decision from
+  /// stop_flag().  Hook contract is the same as arrive()'s.
+  template <typename Combine, typename Finalize>
+  ArriveOutcome arrive_begin(std::size_t who, Combine&& combine,
+                             Finalize&& finalize) {
     // Flip this participant's sense first: the episode completes when the
     // global sense catches up to it.
     const std::uint32_t my_sense = local_[who].value ^ 1u;
@@ -105,13 +133,9 @@ class TreeBarrier {
       Node& n = nodes_[node];
       if (n.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 <
           n.fan_in) {
-        // Not the last arriver here: park until the root flips the sense.
-        std::uint32_t seen;
-        while ((seen = sense_.load(std::memory_order_acquire)) !=
-               my_sense) {
-          sense_.wait(seen, std::memory_order_acquire);
-        }
-        return stop_.load(std::memory_order_relaxed) != 0;
+        // Not the last arriver here: the participant is parked until the
+        // root flips the sense.
+        return ArriveOutcome::kParked;
       }
       // Last arriver: this node's children are all in.  Re-arm the
       // counter for the next episode (nobody can re-arrive before the
@@ -124,7 +148,7 @@ class TreeBarrier {
       if (n.parent == kNoParent) break;
       node = n.parent;
     }
-    fold_phase.acquire();  // root fan-in won: every other thread is parked
+    fold_phase.acquire();  // root fan-in won: every other machine is parked
     const bool stop = finalize();
     fold_phase.release();
     // Publish the stop decision, then the sense flip releases everything
@@ -132,7 +156,35 @@ class TreeBarrier {
     stop_.store(stop ? 1u : 0u, std::memory_order_relaxed);
     sense_.store(my_sense, std::memory_order_release);
     sense_.notify_all();
-    return stop;
+    return ArriveOutcome::kReleased;
+  }
+
+  /// True once the episode participant `who` arrived for has completed
+  /// (acquire: a true result happens-after the root's finalize).  Poll
+  /// only from the thread that owns `who` — local sense is unsynchronized
+  /// by design.
+  bool released(std::size_t who) const noexcept {
+    return sense_.load(std::memory_order_acquire) == local_[who].value;
+  }
+
+  /// Stop decision of the last completed episode.  Read only after
+  /// released(who) came back true (ordering rides the sense word).
+  bool stop_flag() const noexcept {
+    return stop_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Current value of the sense word, for a futex-style idle protocol:
+  /// sample it, recheck released() for every parked machine, then
+  /// wait_sense(sample).  A flip between recheck and wait leaves the word
+  /// != sample, so the wait falls through (no missed wakeup).
+  std::uint32_t sense_word() const noexcept {
+    return sense_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks while the sense word still equals `seen` (may wake
+  /// spuriously; re-sample and recheck).
+  void wait_sense(std::uint32_t seen) const noexcept {
+    sense_.wait(seen, std::memory_order_acquire);
   }
 
   /// Re-arms the barrier for a fresh run.  Callable only while no thread

@@ -3,8 +3,8 @@
 #include <chrono>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 
+#include "sim/executor.hpp"
 #include "sim/trace.hpp"
 #include "util/buffer_pool.hpp"
 #include "util/mathx.hpp"
@@ -301,35 +301,22 @@ Metrics Engine::run(const Program& program) {
   // deterministic whatever this reads.  km-lint: allow(wall-clock)
   const auto start = std::chrono::steady_clock::now();
   {
-    std::vector<std::jthread> threads;
-    threads.reserve(k_);
-    for (std::size_t i = 0; i < k_; ++i) {
-      threads.emplace_back([this, &program, i] {
-#if KM_TRACING_ENABLED
-        // Span origin on the machine's own thread, so the first compute
-        // span excludes thread-spawn latency.
-        if (contexts_[i]->trace_) contexts_[i]->trace_->thread_begin();
-#endif
-        try {
-          program(*contexts_[i]);
-        } catch (...) {
-          record_first_error(std::current_exception());
-        }
-        contexts_[i]->finished_ = true;  // published by the next arrival
-        finished_count_.fetch_add(1, std::memory_order_release);
-        // Keep participating in barriers until the engine stops, so
-        // machines that finish early do not deadlock the others.  The
-        // stop flag is checked *before* arriving: once it is set, no
-        // thread will enter another barrier episode.  Incoming
-        // buckets still have to be walked each episode — discarded,
-        // not delivered — to keep the parity hand-off sound.
-        while (!stopped()) {
-          if (barrier_arrive_and_wait(i)) break;
-          discard_inbound(*contexts_[i]);
-        }
-      });
-    }
-  }  // jthreads join here
+    // One fiber per machine, multiplexed over the worker pool.  When a
+    // machine parks at the barrier the worker polls
+    // TreeBarrier::released() for it; when a worker's whole block is
+    // parked it futex-waits on the barrier's sense word (the only event
+    // that can make a parked machine runnable).
+    Executor executor(k_, config_.workers, config_.fiber_stack_bytes,
+                      IdleHooks{.epoch = &Engine::idle_epoch,
+                                .wait = &Engine::idle_wait,
+                                .arg = this});
+    executor_ = &executor;
+    struct ExecutorGuard {
+      Engine& engine;
+      ~ExecutorGuard() { engine.executor_ = nullptr; }
+    } executor_guard{*this};
+    executor.run([this, &program](std::size_t i) { machine_main(program, i); });
+  }  // workers join here
   // Wall-clock metric, not simulation state.  km-lint: allow(wall-clock)
   const auto end = std::chrono::steady_clock::now();
   // Single-threaded epilogue: every machine thread joined above, so this
@@ -354,6 +341,44 @@ Metrics Engine::run(const Program& program) {
   return result;
 }
 
+void Engine::machine_main(const Program& program, std::size_t who) {
+#if KM_TRACING_ENABLED
+  // Span origin on the machine's own fiber, so the first compute span
+  // excludes pool startup latency.
+  if (contexts_[who]->trace_) contexts_[who]->trace_->thread_begin();
+#endif
+  try {
+    program(*contexts_[who]);
+  } catch (...) {
+    record_first_error(std::current_exception());
+  }
+  contexts_[who]->finished_ = true;  // published by the next arrival
+  finished_count_.fetch_add(1, std::memory_order_release);
+  // Keep participating in barriers until the engine stops, so machines
+  // that finish early do not deadlock the others.  The stop flag is
+  // checked *before* arriving: once it is set, no machine will enter
+  // another barrier episode.  Incoming buckets still have to be walked
+  // each episode — discarded, not delivered — to keep the parity
+  // hand-off sound.
+  while (!stopped()) {
+    if (barrier_arrive_and_wait(who)) break;
+    discard_inbound(*contexts_[who]);
+  }
+}
+
+bool Engine::machine_released(void* self, std::size_t who) {
+  return static_cast<Engine*>(self)->barrier_.released(who);
+}
+
+std::uint64_t Engine::idle_epoch(void* self) {
+  return static_cast<Engine*>(self)->barrier_.sense_word();
+}
+
+void Engine::idle_wait(void* self, std::uint64_t seen) {
+  static_cast<Engine*>(self)->barrier_.wait_sense(
+      static_cast<std::uint32_t>(seen));
+}
+
 void Engine::record_first_error(std::exception_ptr error) {
   const MutexLock lock(mutex_);
   set_first_error_locked(std::move(error));
@@ -364,21 +389,30 @@ void Engine::set_first_error_locked(std::exception_ptr error) {
 }
 
 bool Engine::barrier_arrive_and_wait(std::size_t who) {
-  return barrier_.arrive(
+  const auto outcome = barrier_.arrive_begin(
       who,
       [this](std::size_t node, bool leaf, std::size_t child_begin,
              std::size_t child_end) {
-        // TreeBarrier::arrive holds fold_phase across this hook (the
-        // node's fan-in fetch_add elected us sole folder); the lambda is
-        // analyzed in isolation, so restate that fact for the analysis.
+        // TreeBarrier::arrive_begin holds fold_phase across this hook
+        // (the node's fan-in fetch_add elected us sole folder); the
+        // lambda is analyzed in isolation, so restate that fact for the
+        // analysis.
         barrier_.fold_phase.assert_held();
         fold_node(node, leaf, child_begin, child_end);
       },
       [this] {
-        // Same contract: arrive() holds fold_phase across finalize.
+        // Same contract: arrive_begin() holds fold_phase across finalize.
         barrier_.fold_phase.assert_held();
         return finalize_superstep();
       });
+  if (outcome == TreeBarrier::ArriveOutcome::kParked) {
+    // Machine-granular wait: yield this fiber back to the worker, which
+    // runs its other machines and resumes us once released() holds.  The
+    // sense cannot flip again until this machine re-arrives, so a stale
+    // resume is impossible.
+    executor_->park(who, &Engine::machine_released, this);
+  }
+  return barrier_.stop_flag();
 }
 
 void Engine::fold_node(std::size_t node, bool leaf, std::size_t child_begin,
@@ -568,6 +602,9 @@ std::string Metrics::summary() const {
      << " pool_evicted_bytes=" << pool.evicted_bytes
      << " pool_buffers=" << pool.pooled_buffers
      << " pool_bytes=" << pool.pooled_bytes
+     << " pool_shelf_returns=" << pool.shelf_returns
+     << " pool_shelf_refills=" << pool.shelf_refills
+     << " pool_shelf_buffers=" << pool.shelf_buffers
      << " payload_pool_hits=" << payload_pool.hits
      << " payload_pool_misses=" << payload_pool.misses
      << " payload_pool_recycled=" << payload_pool.recycled

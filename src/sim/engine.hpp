@@ -1,12 +1,23 @@
 // SPMD execution engine for the k-machine model.
 //
-// Engine::run(program) launches one OS thread per machine, all executing
-// the same `program` (SPMD, like an MPI rank program).  A machine
-// communicates by buffering messages with ctx.send() and calling
+// Engine::run(program) runs one *logical machine* per participant, all
+// executing the same `program` (SPMD, like an MPI rank program).  A
+// machine communicates by buffering messages with ctx.send() and calling
 // ctx.exchange(), which is a synchronization point for *all* machines: the
 // engine charges rounds per the bandwidth model (see sim/network.hpp) and
 // returns each machine the messages addressed to it.  Local computation
 // between exchanges is free, as in the paper.
+//
+// Execution model: machines are stackful fibers multiplexed over a
+// bounded pool of EngineConfig::workers OS threads (sim/executor.hpp) in
+// static contiguous blocks.  A machine that reaches the superstep
+// barrier parks its fiber — the worker switches to its next runnable
+// machine instead of blocking — so barrier arrival/release is
+// machine-granular and k can exceed the core count by orders of
+// magnitude (k = 4096 on a laptop is the paper's regime, not a special
+// case).  Scheduling is invisible to results: rounds, bits, delivery
+// order, and every serialized artifact are identical at every worker
+// count (the Determinism suite sweeps workers to prove it).
 //
 // Message plane (three-phase exchange protocol):
 //  - Phase 1 (pre-bucket, outside any lock): send() buckets each message
@@ -117,6 +128,17 @@ struct EngineConfig {
   /// bits, and delivery order are byte-identical at every setting (the
   /// Framing property tests sweep this knob to prove it).
   std::size_t framed_payload_max_bytes = kFramedPayloadMaxBytes;
+  /// OS threads the executor multiplexes the k machine fibers over; 0
+  /// means hardware concurrency, and the effective count is clamped to
+  /// [1, k].  Pure execution policy: results are byte-identical at every
+  /// setting (like `trace`, it is deliberately absent from serialized
+  /// run parameters).
+  std::size_t workers = 0;
+  /// Stack reservation per machine fiber (rounded up to whole pages, one
+  /// guard page added); 0 means kDefaultFiberStackBytes.  Address space,
+  /// not memory: pages are committed lazily, so huge k stays cheap until
+  /// a program actually recurses deeply.
+  std::size_t fiber_stack_bytes = 0;
 
   /// Bandwidth used throughout the paper: B = Theta(polylog n).
   /// We use B = 16 * ceil(log2 n)^2 bits (a handful of O(log n)-bit
@@ -125,6 +147,7 @@ struct EngineConfig {
 };
 
 class Engine;
+class Executor;
 class TraceSession;
 class MachineTraceBuffer;
 
@@ -225,7 +248,8 @@ class Engine {
   std::size_t k() const noexcept { return k_; }
   const EngineConfig& config() const noexcept { return config_; }
 
-  /// Runs the SPMD program on k machine threads; blocks until all finish.
+  /// Runs the SPMD program on k machine fibers scheduled over the worker
+  /// pool (EngineConfig::workers); blocks until all finish.
   /// Rethrows the first exception any machine threw.  Machine state is
   /// torn down on every exit path (RAII), so a failed run never leaks
   /// stale contexts into the next one.
@@ -253,10 +277,19 @@ class Engine {
     std::vector<std::uint64_t> recv_msgs;  ///< length k
   };
 
-  /// Arrives machine `who` at the tree barrier; returns true when the
-  /// engine has stopped (all machines finished, superstep budget
-  /// exhausted, or a merge failed).
+  /// Arrives machine `who` at the tree barrier and, if the episode is
+  /// not complete, parks the calling fiber with the executor until the
+  /// sense flips; returns true when the engine has stopped (all machines
+  /// finished, superstep budget exhausted, or a merge failed).
   bool barrier_arrive_and_wait(std::size_t who);
+  /// One machine's whole lifetime on its fiber: trace origin, the user
+  /// program, and the post-finish barrier participation loop.
+  void machine_main(const Program& program, std::size_t who);
+  // Executor callbacks (C-style so parked-machine polling stays a pair
+  // of atomic loads, no std::function indirection on the scheduler path).
+  static bool machine_released(void* self, std::size_t who);
+  static std::uint64_t idle_epoch(void* self);
+  static void idle_wait(void* self, std::uint64_t seen);
   bool stopped() const {
     return stop_.load(std::memory_order_acquire);
   }
@@ -304,6 +337,10 @@ class Engine {
   std::vector<NodeAccum> node_accums_  ///< indexed by barrier node id
       KM_GUARDED_BY(barrier_.fold_phase);
   Metrics metrics_ KM_GUARDED_BY(barrier_.fold_phase);
+
+  /// The pool the current run's machine fibers execute on; non-null only
+  /// while run() is live (machines park themselves through it).
+  Executor* executor_ = nullptr;
 
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> finished_count_{0};

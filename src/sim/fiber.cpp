@@ -1,0 +1,183 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <new>
+#include <utility>
+
+// Sanitizer fiber hooks.  Both sanitizers need to be told about stack
+// switches: ASan so its fake-stack frames follow the fiber (and so the
+// stack-use-after-return machinery does not see wild addresses), TSan so
+// happens-before state is tracked per logical fiber rather than per OS
+// thread.  gcc defines __SANITIZE_*__; clang exposes __has_feature.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define KM_FIBER_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define KM_FIBER_TSAN 1
+#endif
+#endif
+#if !defined(KM_FIBER_ASAN) && defined(__SANITIZE_ADDRESS__)
+#define KM_FIBER_ASAN 1
+#endif
+#if !defined(KM_FIBER_TSAN) && defined(__SANITIZE_THREAD__)
+#define KM_FIBER_TSAN 1
+#endif
+
+#if defined(KM_FIBER_ASAN)
+#include <sanitizer/common_interface_defs.h>
+#endif
+#if defined(KM_FIBER_TSAN)
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace km {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t sz =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return sz;
+}
+
+// The context a switch is currently leaving (valid only between
+// start_switch and the matching on_resume on this thread).  ASan's
+// finish_switch_fiber reports the stack we just left, which is how the
+// worker's *native* stack bounds are learned — there is no portable way
+// to ask for them up front.
+#if defined(KM_FIBER_ASAN)
+thread_local FiberContext* g_leaving = nullptr;
+#endif
+
+}  // namespace
+
+FiberStack::FiberStack(std::size_t bytes) {
+  const std::size_t page = page_size();
+  if (bytes < page) bytes = page;
+  const std::size_t usable = (bytes + page - 1) / page * page;
+  map_bytes_ = usable + page;  // + low guard page
+  void* map = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (map == MAP_FAILED) throw std::bad_alloc();
+  // Stacks grow down; the guard sits below the usable range so an
+  // overflow hits PROT_NONE instead of the neighbouring mapping.
+  if (::mprotect(map, page, PROT_NONE) != 0) {
+    ::munmap(map, map_bytes_);
+    throw std::bad_alloc();
+  }
+  map_ = map;
+  base_ = static_cast<char*>(map) + page;
+  size_ = usable;
+}
+
+FiberStack::~FiberStack() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+FiberStack::FiberStack(FiberStack&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_bytes_(std::exchange(other.map_bytes_, 0)),
+      base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+FiberStack& FiberStack::operator=(FiberStack&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) ::munmap(map_, map_bytes_);
+    map_ = std::exchange(other.map_, nullptr);
+    map_bytes_ = std::exchange(other.map_bytes_, 0);
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+FiberContext::FiberContext() {
+  ::getcontext(&ctx_);
+#if defined(KM_FIBER_TSAN)
+  // The native context reuses the OS thread's own TSan state.
+  tsan_fiber_ = __tsan_get_current_fiber();
+#endif
+}
+
+FiberContext::FiberContext(const FiberStack& stack, Entry entry, void* arg)
+    : entry_(entry),
+      arg_(arg),
+      stack_bottom_(stack.base()),
+      stack_size_(stack.size()) {
+  ::getcontext(&ctx_);
+  ctx_.uc_stack.ss_sp = stack.base();
+  ctx_.uc_stack.ss_size = stack.size();
+  ctx_.uc_link = nullptr;  // entry must switch away, never return
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(&ctx_, reinterpret_cast<void (*)()>(&FiberContext::trampoline),
+                2, static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xffffffffu));
+#if defined(KM_FIBER_TSAN)
+  tsan_fiber_ = __tsan_create_fiber(0);
+  owns_tsan_fiber_ = true;
+#endif
+}
+
+FiberContext::~FiberContext() {
+#if defined(KM_FIBER_TSAN)
+  // Runs on the owning worker's native context, after the fiber has
+  // terminated (or before it ever ran) — never from the fiber itself.
+  if (owns_tsan_fiber_ && tsan_fiber_ != nullptr) {
+    __tsan_destroy_fiber(tsan_fiber_);
+  }
+#endif
+}
+
+void FiberContext::trampoline(unsigned hi, unsigned lo) {
+  const auto bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  auto* self = reinterpret_cast<FiberContext*>(bits);
+  on_resume(*self);
+  self->entry_(self->arg_);
+  // Unreachable by contract: entry_ terminates with a final
+  // switch_to(..., terminating = true).
+  __builtin_trap();
+}
+
+void FiberContext::on_resume(FiberContext& landed) {
+#if defined(KM_FIBER_ASAN)
+  const void* old_bottom = nullptr;
+  std::size_t old_size = 0;
+  __sanitizer_finish_switch_fiber(landed.asan_fake_stack_, &old_bottom,
+                                  &old_size);
+  landed.asan_fake_stack_ = nullptr;
+  if (g_leaving != nullptr && g_leaving->stack_bottom_ == nullptr) {
+    g_leaving->stack_bottom_ = old_bottom;
+    g_leaving->stack_size_ = old_size;
+  }
+  g_leaving = nullptr;
+#else
+  (void)landed;
+#endif
+}
+
+void FiberContext::switch_to(FiberContext& from, FiberContext& to,
+                             bool terminating) {
+#if defined(KM_FIBER_ASAN)
+  // A null save slot tells ASan the departing fiber is gone for good, so
+  // its fake-stack frames are released instead of parked.
+  void** save = terminating ? nullptr : &from.asan_fake_stack_;
+  g_leaving = terminating ? nullptr : &from;
+  __sanitizer_start_switch_fiber(save, to.stack_bottom_, to.stack_size_);
+#else
+  (void)terminating;
+#endif
+#if defined(KM_FIBER_TSAN)
+  __tsan_switch_to_fiber(to.tsan_fiber_, 0);
+#endif
+  ::swapcontext(&from.ctx_, &to.ctx_);
+  // Only reached when something later switches back into `from`; a
+  // terminating switch never returns here.
+  on_resume(from);
+}
+
+}  // namespace km

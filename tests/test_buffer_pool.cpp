@@ -1,7 +1,8 @@
 // Tests for util/buffer_pool.hpp: recycling behaviour and the
 // occupancy/overflow counters, including driving a pool past its three
 // caps (256 buffers, 1 MiB per buffer, 8 MiB per thread) and asserting
-// the eviction accounting.  Also covers the PayloadBuf *object* pool
+// the overflow accounting — local overflow parks on the shared shelf
+// (the cross-thread return channel), oversized buffers are evicted.  Also covers the PayloadBuf *object* pool
 // (sim/message.cpp, 1024 objects per thread) and its counters, driven
 // through the PayloadRef lifecycle.  Cap arithmetic needs a pool in a
 // known-empty state, so cap tests run on a fresh thread (thread-local
@@ -31,6 +32,8 @@ void on_fresh_thread(F&& body) {
 
 TEST(BufferPool, MissRecycleHitRoundTrip) {
   on_fresh_thread([] {
+    drain_buffer_shelf();  // a populated shelf would turn the miss below
+                           // into a refill
     const auto before = buffer_pool_counters();
     std::vector<std::byte> buf = acquire_buffer();  // fresh pool: a miss
     EXPECT_EQ(buf.capacity(), 0u);
@@ -70,11 +73,12 @@ TEST(BufferPool, OversizedBufferIsEvicted) {
   });
 }
 
-TEST(BufferPool, TotalBytesCapEvictsOverflow) {
+TEST(BufferPool, TotalBytesCapOverflowsToShelf) {
   on_fresh_thread([] {
+    drain_buffer_shelf();
     const auto before = buffer_pool_counters();
     // Nine 1 MiB buffers against the 8 MiB per-thread cap: the first
-    // eight are adopted, the ninth bounces.
+    // eight are adopted locally, the ninth parks on the shared shelf.
     for (int i = 0; i < 9; ++i) {
       std::vector<std::byte> buf;
       buf.reserve(kMiB);
@@ -83,22 +87,28 @@ TEST(BufferPool, TotalBytesCapEvictsOverflow) {
     const auto after = buffer_pool_counters();
     const auto d = after.since(before);
     EXPECT_EQ(d.recycled, 8u);
-    EXPECT_EQ(d.evicted, 1u);
-    EXPECT_GE(d.evicted_bytes, kMiB);
-    // Occupancy gauges see this thread's pool while it is alive.
+    EXPECT_EQ(d.shelf_returns, 1u);
+    EXPECT_EQ(d.evicted, 0u);
+    // Occupancy gauges see this thread's pool while it is alive, and the
+    // overflow buffer on the shelf.
     EXPECT_GE(after.pooled_bytes, before.pooled_bytes + 8 * kMiB);
     EXPECT_GE(after.pooled_buffers, before.pooled_buffers + 8);
+    EXPECT_GE(after.shelf_bytes, kMiB);
   });
-  // The fresh thread exited: its pool (and gauge contribution) is gone,
-  // but its cumulative activity must have been folded into the totals.
+  // The fresh thread exited: its cumulative activity was folded into the
+  // totals, and its pooled buffers were flushed to the shelf so their
+  // capacities survive the thread.
   const auto total = buffer_pool_counters();
   EXPECT_GE(total.recycled, 8u);
+  EXPECT_GE(total.shelf_bytes, 9 * kMiB);
 }
 
-TEST(BufferPool, BufferCountCapEvictsOverflow) {
+TEST(BufferPool, BufferCountCapOverflowsToShelf) {
   on_fresh_thread([] {
+    drain_buffer_shelf();
     const auto before = buffer_pool_counters();
-    // 300 tiny buffers against the 256-buffer cap.
+    // 300 tiny buffers against the 256-buffer cap: the overflow parks on
+    // the shelf instead of being freed.
     for (int i = 0; i < 300; ++i) {
       std::vector<std::byte> buf;
       buf.reserve(64);
@@ -106,9 +116,37 @@ TEST(BufferPool, BufferCountCapEvictsOverflow) {
     }
     const auto d = buffer_pool_counters().since(before);
     EXPECT_EQ(d.recycled, 256u);
-    EXPECT_EQ(d.evicted, 44u);
-    EXPECT_EQ(d.evicted_bytes, 44u * 64u);
+    EXPECT_EQ(d.shelf_returns, 44u);
+    EXPECT_EQ(d.evicted, 0u);
+    EXPECT_EQ(d.evicted_bytes, 0u);
   });
+}
+
+TEST(BufferPool, ShelfMovesCapacityAcrossThreads) {
+  // The worker-pool pattern: one thread releases more buffers than its
+  // local pool holds (the receiver), another thread acquires with a cold
+  // local pool (the sender).  The shelf must hand the capacities across.
+  drain_buffer_shelf();
+  on_fresh_thread([] {
+    for (int i = 0; i < 300; ++i) {
+      std::vector<std::byte> buf;
+      buf.reserve(512);
+      recycle_buffer(std::move(buf));
+    }
+  });  // thread exit also flushes the 256 locally pooled buffers
+  const auto mid = buffer_pool_counters();
+  EXPECT_GE(mid.shelf_buffers, 300u);
+  on_fresh_thread([] {
+    const auto before = buffer_pool_counters();
+    std::vector<std::byte> warm = acquire_buffer();
+    EXPECT_GE(warm.capacity(), 512u) << "capacity must arrive via the shelf";
+    EXPECT_TRUE(warm.empty());
+    const auto d = buffer_pool_counters().since(before);
+    EXPECT_EQ(d.shelf_refills, 1u);
+    EXPECT_EQ(d.misses, 0u);
+  });
+  EXPECT_GT(drain_buffer_shelf(), 0u);
+  EXPECT_EQ(buffer_pool_counters().shelf_buffers, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -20,15 +20,14 @@
 //                   (or hash) by address; the allocator decides
 //                   iteration order, different every run under ASLR.
 //   unordered-iter  range-for over a std::unordered_{map,set} inside the
-//                   accounting/workload/results paths (src/sim,
-//                   src/runtime, src/graph, src/util, tools): iteration
-//                   order is a stdlib implementation detail, so anything
-//                   it feeds — send order, JSON fields, metric sums —
-//                   can differ across standard libraries.  (src/core
-//                   algorithm internals are exempt for now: their
-//                   iteration feeds per-link send order that the golden
-//                   snapshots pin per platform; sorting those paths is a
-//                   tracked follow-up, see README.)
+//                   accounting/workload/results paths (src/core,
+//                   src/sim, src/runtime, src/graph, src/util, tools):
+//                   iteration order is a stdlib implementation detail,
+//                   so anything it feeds — send order, JSON fields,
+//                   metric sums — can differ across standard libraries.
+//                   The algorithm kernels in src/core iterate sorted
+//                   views (sorted_keys/for_sorted in core/detail), which
+//                   is what lets golden snapshots be platform-portable.
 //   unseeded-rng    a <random> engine constructed without a seed
 //                   (std::mt19937 g;) uses default_seed — deterministic
 //                   but seed-blind: it silently ignores the run's seed
