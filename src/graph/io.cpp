@@ -5,18 +5,36 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/parse.hpp"
+
 namespace km {
 
 namespace {
-std::vector<Edge> parse_pairs(std::istream& in) {
+std::vector<Edge> parse_pairs(std::istream& in, const std::string& source) {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> raw;
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream ls(line);
-    std::uint64_t u, v;
-    if (ls >> u >> v) raw.emplace_back(u, v);
+    std::string tok_u;
+    if (!(ls >> tok_u)) continue;  // blank or comment-only line
+    const auto fail = [&](const char* what, const std::string& token) {
+      throw std::runtime_error(source + ":" + std::to_string(lineno) + ": " +
+                               what + " '" + token +
+                               "' (each line must be two vertex ids: \"u v\")");
+    };
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!parse_strict_uint(tok_u, u)) fail("bad vertex id", tok_u);
+    std::string tok_v;
+    if (!(ls >> tok_v)) fail("missing second vertex id after", tok_u);
+    if (!parse_strict_uint(tok_v, v)) fail("bad vertex id", tok_v);
+    std::string extra;
+    if (ls >> extra) fail("unexpected trailing token", extra);
+    raw.emplace_back(u, v);
   }
   // Compact arbitrary IDs to [0, n) preserving numeric order, so files
   // that already use contiguous IDs round-trip unchanged.
@@ -47,8 +65,8 @@ std::size_t max_vertex(const std::vector<Edge>& edges) {
 }
 }  // namespace
 
-Graph read_edge_list(std::istream& in) {
-  auto edges = parse_pairs(in);
+Graph read_edge_list(std::istream& in, const std::string& source) {
+  auto edges = parse_pairs(in, source);
   const std::size_t n = max_vertex(edges);
   return Graph::from_edges(n, std::move(edges));
 }
@@ -56,11 +74,11 @@ Graph read_edge_list(std::istream& in) {
 Graph read_edge_list_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
-  return read_edge_list(in);
+  return read_edge_list(in, path);
 }
 
-Digraph read_arc_list(std::istream& in) {
-  auto arcs = parse_pairs(in);
+Digraph read_arc_list(std::istream& in, const std::string& source) {
+  auto arcs = parse_pairs(in, source);
   const std::size_t n = max_vertex(arcs);
   return Digraph::from_arcs(n, std::move(arcs));
 }
@@ -68,7 +86,7 @@ Digraph read_arc_list(std::istream& in) {
 Digraph read_arc_list_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
-  return read_arc_list(in);
+  return read_arc_list(in, path);
 }
 
 void write_edge_list(std::ostream& out, const Graph& g) {

@@ -12,11 +12,17 @@
 namespace km {
 
 /// Reads an undirected graph. Vertex IDs are compacted to [0, n).
-Graph read_edge_list(std::istream& in);
+///
+/// After '#'-comment stripping, every non-blank line must be exactly two
+/// unsigned integers; anything else throws std::runtime_error whose
+/// message carries `source` (the path for the *_file variants), the
+/// 1-based line number, and the offending token.
+Graph read_edge_list(std::istream& in, const std::string& source = "<stream>");
 Graph read_edge_list_file(const std::string& path);
 
-/// Reads a directed graph (each line is an arc u -> v).
-Digraph read_arc_list(std::istream& in);
+/// Reads a directed graph (each line is an arc u -> v). Same line
+/// grammar and error reporting as read_edge_list.
+Digraph read_arc_list(std::istream& in, const std::string& source = "<stream>");
 Digraph read_arc_list_file(const std::string& path);
 
 void write_edge_list(std::ostream& out, const Graph& g);

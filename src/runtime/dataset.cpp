@@ -244,7 +244,16 @@ Dataset load_dataset(const DatasetSpec& spec, DatasetKind required,
   } else if (spec.family == "file") {
     const std::string path = spec.get_string("path", "");
     if (path.empty()) throw DatasetError("file: spec is missing the path");
-    g = read_edge_list_file(path);
+    try {
+      g = read_edge_list_file(path);
+    } catch (const DatasetError&) {
+      throw;
+    } catch (const std::exception& e) {
+      // The IO layer's message already carries path:line: token context;
+      // re-type it so callers see every loader failure as a DatasetError.
+      throw DatasetError(std::string("file: dataset failed to load: ") +
+                         e.what());
+    }
   } else {
     throw DatasetError(
         "unknown dataset family '" + spec.family + "'\n" +

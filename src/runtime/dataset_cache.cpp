@@ -1,0 +1,152 @@
+#include "runtime/dataset_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace km {
+
+DatasetCacheCounters DatasetCacheCounters::since(
+    const DatasetCacheCounters& base) const noexcept {
+  DatasetCacheCounters delta;
+  delta.hits = hits - base.hits;
+  delta.misses = misses - base.misses;
+  delta.evictions = evictions - base.evictions;
+  delta.entries = entries;
+  delta.bytes = bytes;
+  return delta;
+}
+
+std::string DatasetCacheCounters::summary() const {
+  return "dataset_cache: hits=" + std::to_string(hits) +
+         " misses=" + std::to_string(misses) +
+         " evictions=" + std::to_string(evictions) +
+         " entries=" + std::to_string(entries) +
+         " bytes=" + std::to_string(bytes);
+}
+
+DatasetCache::DatasetCache(std::size_t byte_budget)
+    : byte_budget_(byte_budget) {}
+
+DatasetCache& DatasetCache::instance() {
+  static DatasetCache cache;
+  return cache;
+}
+
+std::string DatasetCache::canonical_key(const DatasetSpec& spec,
+                                        DatasetKind kind, std::uint64_t seed) {
+  // Sort parameters by key so spelling variants of the same cell
+  // collide; DatasetSpec::set keeps keys unique, so ties cannot happen.
+  std::vector<std::pair<std::string, std::string>> params = spec.params;
+  std::sort(params.begin(), params.end());
+  std::string key = spec.family;
+  for (const auto& [k, v] : params) {
+    key += '\x1f';  // unit separator: cannot appear in spec text
+    key += k;
+    key += '=';
+    key += v;
+  }
+  key += '\x1f';
+  key += to_string(kind);
+  key += "\x1f" "seed=" + std::to_string(seed);
+  return key;
+}
+
+std::shared_ptr<const Dataset> DatasetCache::get(const DatasetSpec& spec,
+                                                 DatasetKind required,
+                                                 std::uint64_t seed) {
+  const std::string key = canonical_key(spec, required, seed);
+  MutexLock lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    it->second.last_use = ++tick_;
+    return it->second.dataset;
+  }
+  ++misses_;
+  // Materialize under the lock: builds are milliseconds at simulator
+  // scale, and this guarantees a cell is never generated twice even
+  // under concurrent km_serve requests.
+  auto dataset =
+      std::make_shared<const Dataset>(load_dataset(spec, required, seed));
+  Entry entry;
+  entry.dataset = dataset;
+  entry.bytes = estimate_dataset_bytes(*dataset);
+  entry.last_use = ++tick_;
+  bytes_ += entry.bytes;
+  entries_.emplace(key, std::move(entry));
+  evict_to_fit(key);
+  return dataset;
+}
+
+std::shared_ptr<const Dataset> DatasetCache::get(std::string_view spec_text,
+                                                 DatasetKind required,
+                                                 std::uint64_t seed) {
+  return get(DatasetSpec::parse(spec_text), required, seed);
+}
+
+DatasetCacheCounters DatasetCache::counters() const {
+  MutexLock lock(mu_);
+  DatasetCacheCounters out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = evictions_;
+  out.entries = entries_.size();
+  out.bytes = bytes_;
+  return out;
+}
+
+void DatasetCache::clear() {
+  MutexLock lock(mu_);
+  entries_.clear();
+  bytes_ = 0;
+}
+
+void DatasetCache::set_byte_budget(std::size_t bytes) {
+  MutexLock lock(mu_);
+  byte_budget_ = bytes;
+  evict_to_fit({});
+}
+
+void DatasetCache::evict_to_fit(std::string_view keep_key) {
+  // LRU by last_use; linear scan is fine at cache cardinality (one entry
+  // per distinct dataset cell).  The just-inserted entry is never
+  // evicted, so a single over-budget dataset is kept rather than
+  // thrashed.
+  while (bytes_ > byte_budget_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep_key) continue;
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;
+    bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+std::uint64_t estimate_dataset_bytes(const Dataset& ds) noexcept {
+  // CSR-shaped upper bound; eviction only needs a monotone estimate.
+  const std::uint64_t n = ds.n;
+  const std::uint64_t m = ds.m;
+  std::uint64_t bytes = sizeof(Dataset) + ds.spec.size();
+  switch (ds.kind) {
+    case DatasetKind::kUndirected: bytes += (n + 1) * 8 + 2 * m * 8; break;
+    case DatasetKind::kDirected: bytes += (n + 1) * 8 + m * 8; break;
+    case DatasetKind::kWeighted: bytes += (n + 1) * 8 + 2 * m * 16; break;
+    case DatasetKind::kKeys: bytes += n * 8; break;
+  }
+  return bytes;
+}
+
+std::shared_ptr<const Dataset> load_dataset_cached(std::string_view spec_text,
+                                                   DatasetKind required,
+                                                   std::uint64_t seed) {
+  return DatasetCache::instance().get(spec_text, required, seed);
+}
+
+}  // namespace km

@@ -1,0 +1,119 @@
+// Process-wide dataset/partition cache: materialize each (spec, kind,
+// seed) cell once, serve every later request from memory.
+//
+// Kills the cold-start-per-run bug class: `km_run sweep` used to rebuild
+// the same generated graph for every grid cell, and every km_serve
+// scenario request would have paid the same tax.  The cache key is the
+// *canonicalized* spec (family + parameters sorted by key) so spelling
+// variants like "gnp:p=0.08,n=64" and "gnp:n=64,p=0.08" share one entry
+// — but the cached Dataset keeps the spec string of the first
+// materializer, so emitted documents and sweep filenames are
+// byte-identical to the uncached path.
+//
+// Concurrency: one km::Mutex guards the whole cache (annotated for the
+// `analyze` preset's -Werror=thread-safety).  Hits are O(log entries)
+// under the lock; misses materialize *while holding it*, deliberately —
+// generation is milliseconds at simulator scale, and serializing builds
+// means concurrent requests for the same cell never build twice.
+// Entries are handed out as shared_ptr<const Dataset>, so eviction never
+// invalidates a dataset a run is still using.
+//
+// The cache assumes dataset inputs are immutable for the process
+// lifetime; a `file:` dataset re-written on disk is served from the
+// cached copy until clear().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "runtime/dataset.hpp"
+#include "util/annotations.hpp"
+
+namespace km {
+
+/// Monotonic counters plus current-occupancy gauges, Metrics::summary
+/// style.  Snapshot with counters(), diff with since().
+struct DatasetCacheCounters {
+  std::uint64_t hits = 0;       ///< served from memory
+  std::uint64_t misses = 0;     ///< materialized via load_dataset
+  std::uint64_t evictions = 0;  ///< entries dropped to fit the budget
+  std::uint64_t entries = 0;    ///< gauge: live entries
+  std::uint64_t bytes = 0;      ///< gauge: estimated resident bytes
+
+  /// Delta of the monotonic counters against `base`; the gauges carry
+  /// this snapshot's values (a delta of occupancy is meaningless).
+  DatasetCacheCounters since(const DatasetCacheCounters& base) const noexcept;
+
+  /// One key=value line, e.g.
+  /// "dataset_cache: hits=5 misses=1 evictions=0 entries=1 bytes=12640".
+  std::string summary() const;
+};
+
+class DatasetCache {
+ public:
+  /// Default byte budget: generous for simulator-scale graphs, small
+  /// enough that a sweep over huge inputs still turns over.
+  static constexpr std::size_t kDefaultByteBudget = 256u << 20;
+
+  explicit DatasetCache(std::size_t byte_budget = kDefaultByteBudget);
+
+  /// The process-wide cache shared by km_run and km_serve.
+  static DatasetCache& instance();
+
+  /// Cache key: canonical spec (params sorted by key) + required kind +
+  /// seed.  Exposed for tests and the result store, which keys scenario
+  /// cells by the same canonical dataset identity.
+  static std::string canonical_key(const DatasetSpec& spec, DatasetKind kind,
+                                   std::uint64_t seed);
+
+  /// The cached dataset for the cell, materializing on first use.
+  /// Throws DatasetError exactly like load_dataset on bad specs.
+  std::shared_ptr<const Dataset> get(const DatasetSpec& spec,
+                                     DatasetKind required, std::uint64_t seed)
+      KM_EXCLUDES(mu_);
+  std::shared_ptr<const Dataset> get(std::string_view spec_text,
+                                     DatasetKind required, std::uint64_t seed)
+      KM_EXCLUDES(mu_);
+
+  DatasetCacheCounters counters() const KM_EXCLUDES(mu_);
+
+  /// Drops every entry (handed-out shared_ptrs stay valid).  Counters
+  /// keep their monotonic values; gauges reset.
+  void clear() KM_EXCLUDES(mu_);
+
+  /// Shrinks (or grows) the budget, evicting immediately if needed.
+  void set_byte_budget(std::size_t bytes) KM_EXCLUDES(mu_);
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Dataset> dataset;
+    std::uint64_t bytes = 0;
+    std::uint64_t last_use = 0;
+  };
+
+  void evict_to_fit(std::string_view keep_key) KM_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_ KM_GUARDED_BY(mu_);
+  std::size_t byte_budget_ KM_GUARDED_BY(mu_);
+  std::uint64_t bytes_ KM_GUARDED_BY(mu_) = 0;
+  std::uint64_t tick_ KM_GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ KM_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ KM_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ KM_GUARDED_BY(mu_) = 0;
+};
+
+/// Estimated resident bytes of a materialized dataset (CSR arrays, weights,
+/// keys).  An estimate is all eviction needs; it must only be monotone in
+/// dataset size.
+std::uint64_t estimate_dataset_bytes(const Dataset& ds) noexcept;
+
+/// Drop-in for load_dataset() that routes through DatasetCache::instance().
+std::shared_ptr<const Dataset> load_dataset_cached(std::string_view spec_text,
+                                                   DatasetKind required,
+                                                   std::uint64_t seed);
+
+}  // namespace km

@@ -1,0 +1,75 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace km::serve {
+
+ServeClient::ServeClient(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long for AF_UNIX: " +
+                             socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("connect " + socket_path + ": " +
+                             std::strerror(err));
+  }
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+WireResponse ServeClient::request(std::string_view line) {
+  std::string out(line);
+  out += '\n';
+  std::string_view rest = out;
+  while (!rest.empty()) {
+    const ssize_t wrote = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+    }
+    rest.remove_prefix(static_cast<std::size_t>(wrote));
+  }
+  WireResponse response;
+  response.meta = read_line();
+  response.doc = read_line();
+  return response;
+}
+
+std::string ServeClient::read_line() {
+  while (true) {
+    const auto nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) {
+      throw std::runtime_error("km_serve connection closed mid-response");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+}  // namespace km::serve

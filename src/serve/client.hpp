@@ -1,0 +1,37 @@
+// ServeClient: blocking NDJSON client for the km_serve socket, used by
+// the km_serve CLI's request/stats/ping/shutdown modes, the stress
+// tests, and the bench harness.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace km::serve {
+
+/// One response as received: the parsed-out meta line and payload line.
+struct WireResponse {
+  std::string meta;
+  std::string doc;
+};
+
+class ServeClient {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  explicit ServeClient(const std::string& socket_path);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Sends one request line and reads the two response lines.  Throws
+  /// std::runtime_error if the connection drops mid-response.
+  WireResponse request(std::string_view line);
+
+ private:
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace km::serve

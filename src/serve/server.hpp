@@ -1,0 +1,63 @@
+// ServeServer: Unix-domain-socket NDJSON transport over a
+// ScenarioService.
+//
+// One accept thread, one thread per connection; each connection is
+// serial (read a request line, write the two response lines) while
+// different connections run concurrently — the service's bounded
+// executor is what limits simultaneous engine runs.  A shutdown request
+// answers its two lines, then stops the listener and closes every open
+// connection so all threads join promptly.
+//
+// The socket path must fit sockaddr_un (~100 bytes); keep it short
+// (/tmp/km_serve.sock).  An existing socket file at the path is
+// unlinked on start — a stale file from a killed daemon must not block
+// restarts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "util/annotations.hpp"
+
+namespace km::serve {
+
+class ServeServer {
+ public:
+  /// Binds and listens; throws std::runtime_error on socket errors.
+  ServeServer(ScenarioService& service, std::string socket_path);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Starts the accept loop in the background.
+  void start();
+
+  /// Blocks until a shutdown request (or stop()) ends the server.
+  void wait();
+
+  /// Idempotent; also invoked by a client's shutdown op.
+  void stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void close_all_connections();
+
+  ScenarioService& service_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  Mutex mu_;
+  std::vector<int> connection_fds_ KM_GUARDED_BY(mu_);
+  std::vector<std::thread> connection_threads_ KM_GUARDED_BY(mu_);
+};
+
+}  // namespace km::serve

@@ -243,6 +243,13 @@ Engine::Engine(std::size_t k, EngineConfig config)
       barrier_(k),
       node_accums_(barrier_.node_count()) {
   if (k_ < 1) throw std::invalid_argument("Engine: k must be >= 1");
+  // Resolve the framing threshold once, here, so every consumer of
+  // config() (should_frame, tests poking at engine.config()) sees the
+  // concrete policy instead of the auto sentinel.
+  if (config_.framed_payload_max_bytes == kFramedPayloadAuto) {
+    config_.framed_payload_max_bytes =
+        framed_payload_default_bytes(config_.bandwidth_bits);
+  }
   for (NodeAccum& acc : node_accums_) {
     acc.recv_bits.assign(k_, 0);
     acc.recv_msgs.assign(k_, 0);

@@ -25,8 +25,9 @@
 //    accumulates that link's bit/message counters on the fly, so by the
 //    time a machine arrives at the barrier its outbound traffic is fully
 //    bucketed and costed.  Small payloads (<=
-//    EngineConfig::framed_payload_max_bytes, default
-//    kFramedPayloadMaxBytes from sim/message.hpp; 0 disables framing)
+//    EngineConfig::framed_payload_max_bytes, by default derived from B
+//    via framed_payload_default_bytes() in sim/message.hpp; 0 disables
+//    framing)
 //    produced by the Writer/vector overloads are
 //    *framed* from the link's second message of the superstep onward:
 //    their bytes are appended to one length-prefixed frame buffer per
@@ -124,10 +125,15 @@ struct EngineConfig {
   std::function<void(std::uint64_t superstep)> barrier_fault_injection = {};
   /// Largest Writer/vector payload (bytes) the message plane batches into
   /// a per-link frame instead of giving it a refcounted buffer of its
-  /// own; 0 disables framing entirely.  Pure transport policy: rounds,
+  /// own; 0 disables framing entirely.  The default kFramedPayloadAuto
+  /// derives the threshold from B at engine construction —
+  /// framed_payload_default_bytes(bandwidth_bits), one round's worth of
+  /// bytes clamped to [64, 4096] — so the knob only needs touching to
+  /// pin an explicit policy.  Pure transport policy either way: rounds,
   /// bits, and delivery order are byte-identical at every setting (the
-  /// Framing property tests sweep this knob to prove it).
-  std::size_t framed_payload_max_bytes = kFramedPayloadMaxBytes;
+  /// Framing property tests sweep this knob, including the derived
+  /// value, to prove it).
+  std::size_t framed_payload_max_bytes = kFramedPayloadAuto;
   /// OS threads the executor multiplexes the k machine fibers over; 0
   /// means hardware concurrency, and the effective count is clamped to
   /// [1, k].  Pure execution policy: results are byte-identical at every

@@ -1,0 +1,41 @@
+// Read-side JSON: a deliberately tiny recursive-descent parser, the
+// mirror of util/json.hpp's JsonWriter (no external dependency).
+//
+// Promoted out of tools/trace_check so every consumer of the repo's JSON
+// documents — the trace validators, the km_serve request plane, tests
+// diffing km.run_result/v1 output — shares one parser.  Objects preserve
+// insertion order as a vector of pairs; no unordered containers, so
+// users stay km_lint-clean.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace km {
+
+/// Minimal JSON document model.  One struct instead of a variant so the
+/// recursive type stays simple; `kind` says which payload field is live.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Members in document order.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is(Kind k) const noexcept { return kind == k; }
+  /// First member named `key`, or nullptr (valid only on objects).
+  const JsonValue* find(std::string_view key) const noexcept;
+};
+
+/// Parses `text` into `out`.  Returns false and sets `error` (with byte
+/// offset) on malformed input.  Full document: trailing garbage is an
+/// error.
+bool parse_json(std::string_view text, JsonValue& out, std::string& error);
+
+}  // namespace km

@@ -1,0 +1,53 @@
+# SweepCacheSmoke: a 6-cell `km_run sweep` grid over one dataset cell
+# must materialize the dataset exactly once — five of the six cells are
+# served by the process-wide dataset cache.  Asserted through the
+# counter line the sweep prints (dataset_cache: hits=5 misses=1 ...),
+# which is also the contract the ISSUE's acceptance criteria name.
+#
+# Invoked by CTest (see tests/CMakeLists.txt) as:
+#   cmake -DKM_RUN=<km_run> -DOUT_DIR=<scratch dir> -P sweep_cache_smoke.cmake
+foreach(var KM_RUN OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sweep_cache_smoke.cmake: ${var} is not set")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+# 3 k-values x 2 B-values = 6 cells, one (spec, seed) dataset.
+execute_process(
+  COMMAND ${KM_RUN} sweep --workload components --dataset gnp:n=64,p=0.08
+          --k 2,4,8 --B 0,4096 --seed 7 --out-dir ${OUT_DIR}
+  OUTPUT_VARIABLE sweep_out
+  RESULT_VARIABLE sweep_rc)
+if(NOT sweep_rc EQUAL 0)
+  message(FATAL_ERROR "km_run sweep failed (exit ${sweep_rc}):\n${sweep_out}")
+endif()
+
+if(NOT sweep_out MATCHES "dataset_cache: hits=5 misses=1 ")
+  message(FATAL_ERROR
+    "sweep did not resolve the dataset exactly once across 6 cells; "
+    "expected 'dataset_cache: hits=5 misses=1' in:\n${sweep_out}")
+endif()
+
+# All six cells wrote distinct documents.
+file(GLOB cells ${OUT_DIR}/*.json)
+list(LENGTH cells cell_count)
+if(NOT cell_count EQUAL 6)
+  message(FATAL_ERROR "expected 6 result documents, found ${cell_count}")
+endif()
+
+# A two-n sweep touches two dataset cells: misses=2, the rest hits.
+execute_process(
+  COMMAND ${KM_RUN} sweep --workload components --dataset gnp:n=64,p=0.08
+          --n 48,64 --k 2,4 --seed 7 --out-dir ${OUT_DIR}/two_n
+  OUTPUT_VARIABLE sweep2_out
+  RESULT_VARIABLE sweep2_rc)
+if(NOT sweep2_rc EQUAL 0)
+  message(FATAL_ERROR "two-n sweep failed (exit ${sweep2_rc}):\n${sweep2_out}")
+endif()
+if(NOT sweep2_out MATCHES "dataset_cache: hits=2 misses=2 ")
+  message(FATAL_ERROR
+    "two-n sweep expected 'dataset_cache: hits=2 misses=2' in:\n${sweep2_out}")
+endif()

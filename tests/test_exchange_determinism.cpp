@@ -208,11 +208,15 @@ TEST(PayloadRef, EmptyPayloadHasNoOwner) {
 // Per-link frame batching
 // ---------------------------------------------------------------------------
 
+// The framing tests pin this explicit threshold (the static default the
+// derived-from-B policy replaced) so the frame/no-frame split is
+// independent of the engine's bandwidth setting.
+constexpr std::size_t kTestFrameBytes = 256;
+
 // Sender and receiver independently recompute each link's message plan
 // from pure hashes, so the receiver can verify counts, order, and bytes
-// with no shared state.  Sizes deliberately straddle
-// kFramedPayloadMaxBytes so framed and unframed messages interleave on
-// every link.
+// with no shared state.  Sizes deliberately straddle kTestFrameBytes so
+// framed and unframed messages interleave on every link.
 struct PlannedMessage {
   std::size_t size;
   std::uint64_t seed;
@@ -319,19 +323,46 @@ void run_framing_property_trial(std::uint64_t trial,
 
 TEST(Framing, RandomSizesMatchUnbatchedAccountingAndOrder) {
   for (std::uint64_t trial = 1; trial <= 3; ++trial) {
-    run_framing_property_trial(trial, kFramedPayloadMaxBytes);
+    run_framing_property_trial(trial, kTestFrameBytes);
   }
 }
 
 TEST(Framing, ThresholdSweepKeepsUnbatchedAccounting) {
   // EngineConfig::framed_payload_max_bytes is a pure transport knob: the
   // same property must hold with framing disabled (0), at a tiny
-  // threshold that leaves most messages unframed (64), at the default
-  // (256), and at one that frames every planned size (1024).
-  for (const std::size_t frame_bytes : {std::size_t{0}, std::size_t{64},
-                                        std::size_t{256}, std::size_t{1024}}) {
+  // threshold that leaves most messages unframed (64), at the classic
+  // static default (256), at one that frames every planned size (1024),
+  // at the value the auto policy derives for this bandwidth, and with
+  // the auto sentinel itself (resolved inside the engine).
+  for (const std::size_t frame_bytes :
+       {std::size_t{0}, std::size_t{64}, std::size_t{256}, std::size_t{1024},
+        framed_payload_default_bytes(2048), kFramedPayloadAuto}) {
     run_framing_property_trial(/*trial=*/7, frame_bytes);
   }
+}
+
+TEST(Framing, AutoThresholdDerivesFromBandwidth) {
+  // The derived default is one round's worth of bytes, clamped: B/8
+  // inside [kFramedPayloadMinDefaultBytes, kFramedPayloadMaxDefaultBytes].
+  EXPECT_EQ(framed_payload_default_bytes(2048), 256u);
+  EXPECT_EQ(framed_payload_default_bytes(1600), 200u);  // B = 16 * 10^2
+  EXPECT_EQ(framed_payload_default_bytes(0), kFramedPayloadMinDefaultBytes);
+  EXPECT_EQ(framed_payload_default_bytes(8), kFramedPayloadMinDefaultBytes);
+  EXPECT_EQ(framed_payload_default_bytes(1u << 20),
+            kFramedPayloadMaxDefaultBytes);
+  // An engine built with the auto sentinel (the EngineConfig default)
+  // exposes the resolved concrete threshold, never the sentinel.
+  Engine derived(2, {.bandwidth_bits = 1600, .seed = 1});
+  EXPECT_EQ(derived.config().framed_payload_max_bytes, 200u);
+  // An explicit setting — including 0 = off — is used verbatim.
+  Engine off(2, {.bandwidth_bits = 1600,
+                 .seed = 1,
+                 .framed_payload_max_bytes = 0});
+  EXPECT_EQ(off.config().framed_payload_max_bytes, 0u);
+  Engine pinned(2, {.bandwidth_bits = 1600,
+                    .seed = 1,
+                    .framed_payload_max_bytes = 31});
+  EXPECT_EQ(pinned.config().framed_payload_max_bytes, 31u);
 }
 
 TEST(Framing, ThresholdKnobControlsTransportSharing) {
@@ -386,7 +417,9 @@ TEST(Framing, SmallPayloadsShareOneFrameBufferPerLink) {
   // buffer.  The link's first message takes the classic zero-copy path
   // (nothing to amortize the copy against), and a payload past the
   // framing threshold always gets its own buffer.
-  Engine engine(2, {.bandwidth_bits = 1 << 16, .seed = 5});
+  Engine engine(2, {.bandwidth_bits = 1 << 16,
+                    .seed = 5,
+                    .framed_payload_max_bytes = kTestFrameBytes});
   engine.run([&](MachineContext& ctx) {
     if (ctx.id() == 0) {
       for (std::uint64_t i = 0; i < 3; ++i) {
@@ -395,7 +428,7 @@ TEST(Framing, SmallPayloadsShareOneFrameBufferPerLink) {
         ctx.send(1, 1, w);
       }
       Writer big;
-      big.put_bytes(std::vector<std::byte>(kFramedPayloadMaxBytes + 1,
+      big.put_bytes(std::vector<std::byte>(kTestFrameBytes + 1,
                                            std::byte{0x42}));
       ctx.send(1, 2, big);
     }
@@ -412,7 +445,7 @@ TEST(Framing, SmallPayloadsShareOneFrameBufferPerLink) {
         Reader r(in[i].payload);
         EXPECT_EQ(r.get_varint(), i);
       }
-      EXPECT_EQ(in[3].payload.size(), kFramedPayloadMaxBytes + 1);
+      EXPECT_EQ(in[3].payload.size(), kTestFrameBytes + 1);
     } else {
       EXPECT_TRUE(in.empty());
     }
@@ -422,9 +455,11 @@ TEST(Framing, SmallPayloadsShareOneFrameBufferPerLink) {
 TEST(Framing, EmptyAndThresholdBoundaryPayloads) {
   // Sizes 0, 1, exactly-at-threshold, and one-past-threshold all round-
   // trip, and total bits match the unbatched formula.
-  const std::vector<std::size_t> sizes = {0, 1, kFramedPayloadMaxBytes,
-                                          kFramedPayloadMaxBytes + 1};
-  Engine engine(2, {.bandwidth_bits = 1 << 16, .seed = 6});
+  const std::vector<std::size_t> sizes = {0, 1, kTestFrameBytes,
+                                          kTestFrameBytes + 1};
+  Engine engine(2, {.bandwidth_bits = 1 << 16,
+                    .seed = 6,
+                    .framed_payload_max_bytes = kTestFrameBytes});
   const auto metrics = engine.run([&](MachineContext& ctx) {
     for (std::size_t i = 0; i < sizes.size(); ++i) {
       Writer w;

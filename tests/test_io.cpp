@@ -76,5 +76,71 @@ TEST(Io, EmptyInput) {
   EXPECT_EQ(g.num_edges(), 0u);
 }
 
+// ---- Strict line grammar: every parse failure names source, 1-based
+// line, and the offending token. ----
+
+// Captures the runtime_error message so each test can assert on its parts.
+std::string parse_error_of(const std::string& text,
+                           const std::string& source = "<stream>") {
+  std::istringstream in(text);
+  try {
+    read_edge_list(in, source);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected read_edge_list to throw for: " << text;
+  return {};
+}
+
+TEST(Io, BadTokenReportsLineAndToken) {
+  const std::string msg = parse_error_of("0 1\nfoo 2\n");
+  EXPECT_NE(msg.find("<stream>:2:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'foo'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("bad vertex id"), std::string::npos) << msg;
+}
+
+TEST(Io, MissingSecondIdReportsLine) {
+  // Blank and comment-only lines must not advance the edge count but
+  // MUST advance the line number: the bare "7" sits on line 4.
+  const std::string msg = parse_error_of("# header\n0 1\n\n7\n");
+  EXPECT_NE(msg.find("<stream>:4:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("missing second vertex id"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'7'"), std::string::npos) << msg;
+}
+
+TEST(Io, TrailingJunkReportsOffendingToken) {
+  const std::string msg = parse_error_of("0 1 2\n");
+  EXPECT_NE(msg.find("<stream>:1:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unexpected trailing token '2'"), std::string::npos)
+      << msg;
+}
+
+TEST(Io, NegativeIdIsRejected) {
+  const std::string msg = parse_error_of("0 -3\n");
+  EXPECT_NE(msg.find("bad vertex id '-3'"), std::string::npos) << msg;
+}
+
+TEST(Io, SourceNameAppearsInMessage) {
+  const std::string msg = parse_error_of("x y\n", "graphs/web.txt");
+  EXPECT_NE(msg.find("graphs/web.txt:1:"), std::string::npos) << msg;
+}
+
+TEST(Io, ArcListSharesStrictGrammar) {
+  std::istringstream in("0 1\n1 oops\n");
+  try {
+    read_arc_list(in);
+    ADD_FAILURE() << "expected read_arc_list to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("<stream>:2:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Io, TrailingCommentAfterEdgeStillAccepted) {
+  std::istringstream in("0 1 # fine\n1 2#also fine\n");
+  const auto g = read_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
 }  // namespace
 }  // namespace km

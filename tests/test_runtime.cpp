@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -96,6 +98,23 @@ TEST(Dataset, SemanticErrors) {
                DatasetError);
   EXPECT_THROW(load_dataset("keys:n=10", DatasetKind::kUndirected, 1),
                DatasetError);
+}
+
+TEST(Dataset, FileLoaderErrorsKeepPositionContext) {
+  const std::string path = testing::TempDir() + "km_bad_edges.txt";
+  {
+    std::ofstream out(path);
+    out << "# header\n0 1\n1 bogus\n";
+  }
+  try {
+    load_dataset("file:" + path, DatasetKind::kUndirected, 1);
+    FAIL() << "expected DatasetError for malformed edge list";
+  } catch (const DatasetError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path + ":3:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'bogus'"), std::string::npos) << msg;
+  }
+  std::remove(path.c_str());
 }
 
 TEST(Dataset, GnpLoadsAndIsDeterministic) {

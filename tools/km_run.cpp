@@ -7,7 +7,7 @@
 //       Show every registered workload with its input kind.
 //
 //   km_run run --workload mst --dataset gnp:n=1000,p=0.01 --k 8
-//              [--B 0] [--seed 1] [--frame-bytes 256] [--timeline true]
+//              [--B 0] [--seed 1] [--frame-bytes auto] [--timeline true]
 //              [--check true] [--json out.json] [--workers 0]
 //              [--trace trace.json] [--trace-links]
 //       Run one scenario; print a summary line and optionally write the
@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "runtime/dataset.hpp"
+#include "runtime/dataset_cache.hpp"
 #include "runtime/results.hpp"
 #include "runtime/workload.hpp"
 #include "sim/trace.hpp"
@@ -53,17 +54,19 @@ int usage(const char* error) {
                "usage:\n"
                "  km_run list\n"
                "  km_run run   --workload W --dataset SPEC [--k 8] [--B 0]\n"
-               "               [--seed 1] [--frame-bytes 256]\n"
+               "               [--seed 1] [--frame-bytes auto]\n"
                "               [--timeline true] [--check true]\n"
                "               [--json PATH|-] [--workers 0]\n"
                "               [--trace PATH] [--trace-links]\n"
                "  km_run sweep --workload W --dataset SPEC --k K1,K2,...\n"
                "               [--B B1,...] [--n N1,...] [--seed 1]\n"
-               "               [--frame-bytes 256] [--workers 0]\n"
+               "               [--frame-bytes auto] [--workers 0]\n"
                "               [--out-dir sweep-results] [--timeline true]\n"
                "               [--check true]\n\n"
                "--frame-bytes sets the message-plane framing threshold\n"
-               "(transport batching only; 0 disables, metrics identical).\n"
+               "(transport batching only; 0 disables, default derives from\n"
+               "B as one round's bytes clamped to [64, 4096]; metrics\n"
+               "identical at every setting).\n"
                "--workers bounds the executor's OS-thread pool (0 = hardware\n"
                "concurrency); k machines multiplex over it as fibers, so k\n"
                "can far exceed the core count. Metrics identical.\n"
@@ -130,7 +133,7 @@ RunParams params_from(const Options& opts, std::uint64_t k, std::uint64_t B) {
   params.bandwidth_bits = B;
   params.seed = opts.get_uint("seed", 1);
   params.frame_bytes = static_cast<std::size_t>(
-      opts.get_uint("frame-bytes", kFramedPayloadMaxBytes));
+      opts.get_uint("frame-bytes", kFramedPayloadAuto));
   params.record_timeline = opts.get_bool("timeline", true);
   params.check = opts.get_bool("check", true);
   params.workers = static_cast<std::size_t>(opts.get_uint("workers", 0));
@@ -177,9 +180,9 @@ int cmd_run(const Options& opts) {
       params_from(opts, opts.get_uint("k", 8), opts.get_uint("B", 0));
   params.trace = !trace_path.empty();
   params.trace_links = trace_links;
-  const Dataset dataset =
-      load_dataset(spec_text, workload->input_kind(), params.seed);
-  const RunResult result = run_workload(*workload, dataset, params);
+  const auto dataset =
+      load_dataset_cached(spec_text, workload->input_kind(), params.seed);
+  const RunResult result = run_workload(*workload, *dataset, params);
 
   std::printf("%s\n", run_result_summary(result).c_str());
   if (json_path == "-") {
@@ -244,17 +247,19 @@ int cmd_sweep(const Options& opts) {
   std::size_t cell = 0;
   const std::size_t cells = ks.size() * Bs.size() * ns.size();
   std::set<std::string> used_names;
+  const DatasetCacheCounters cache_before = DatasetCache::instance().counters();
   for (const std::uint64_t n : ns) {
     DatasetSpec spec = base_spec;
     if (n != 0) spec.set("n", std::to_string(n));
-    // The dataset depends only on (spec, seed), not on B or k: build it
-    // once per n value, not once per grid cell.
-    const Dataset dataset = load_dataset(spec, workload->input_kind(),
-                                         opts.get_uint("seed", 1));
     for (const std::uint64_t B : Bs) {
       for (const std::uint64_t k : ks) {
         const RunParams params = params_from(opts, k, B);
-        const RunResult result = run_workload(*workload, dataset, params);
+        // The dataset depends only on (spec, seed), not on B or k: the
+        // process-wide cache materializes each n value once and serves
+        // every other grid cell from memory.
+        const auto dataset = DatasetCache::instance().get(
+            spec, workload->input_kind(), params.seed);
+        const RunResult result = run_workload(*workload, *dataset, params);
         std::string name = std::string(workload->name()) + "_" +
                            slug(result.dataset_spec) + "_k" +
                            std::to_string(k);
@@ -277,6 +282,11 @@ int cmd_sweep(const Options& opts) {
       }
     }
   }
+  // One line of cache accounting for the whole grid; the smoke test in
+  // tests/sweep_cache_smoke.cmake asserts misses == distinct datasets.
+  std::printf(
+      "%s\n",
+      DatasetCache::instance().counters().since(cache_before).summary().c_str());
   if (failed_checks > 0) {
     std::fprintf(stderr, "km_run sweep: %d cell(s) failed their check\n",
                  failed_checks);

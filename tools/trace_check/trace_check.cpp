@@ -8,247 +8,6 @@
 
 namespace km::trace_check {
 
-const JsonValue* JsonValue::find(std::string_view key) const noexcept {
-  for (const auto& [name, value] : object) {
-    if (name == key) return &value;
-  }
-  return nullptr;
-}
-
-// ---------------------------------------------------------------------------
-// Parser
-
-namespace {
-
-class Parser {
- public:
-  Parser(std::string_view text, std::string& error)
-      : text_(text), error_(error) {}
-
-  bool parse(JsonValue& out) {
-    skip_ws();
-    if (!parse_value(out, 0)) return false;
-    skip_ws();
-    if (pos_ != text_.size()) return fail("trailing garbage after document");
-    return true;
-  }
-
- private:
-  static constexpr int kMaxDepth = 64;
-
-  bool fail(const std::string& what) {
-    error_ = what + " at byte " + std::to_string(pos_);
-    return false;
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
-      ++pos_;
-    }
-  }
-
-  bool consume(char expected) {
-    if (pos_ >= text_.size() || text_[pos_] != expected) {
-      return fail(std::string("expected '") + expected + "'");
-    }
-    ++pos_;
-    return true;
-  }
-
-  bool parse_value(JsonValue& out, int depth) {
-    if (depth > kMaxDepth) return fail("nesting too deep");
-    if (pos_ >= text_.size()) return fail("unexpected end of input");
-    switch (text_[pos_]) {
-      case '{':
-        return parse_object(out, depth);
-      case '[':
-        return parse_array(out, depth);
-      case '"':
-        out.kind = JsonValue::Kind::kString;
-        return parse_string(out.string);
-      case 't':
-      case 'f':
-        return parse_literal(out);
-      case 'n':
-        return parse_literal(out);
-      default:
-        return parse_number(out);
-    }
-  }
-
-  bool parse_literal(JsonValue& out) {
-    const auto match = [&](std::string_view word) {
-      if (text_.substr(pos_, word.size()) != word) return false;
-      pos_ += word.size();
-      return true;
-    };
-    if (match("true")) {
-      out.kind = JsonValue::Kind::kBool;
-      out.boolean = true;
-      return true;
-    }
-    if (match("false")) {
-      out.kind = JsonValue::Kind::kBool;
-      out.boolean = false;
-      return true;
-    }
-    if (match("null")) {
-      out.kind = JsonValue::Kind::kNull;
-      return true;
-    }
-    return fail("invalid literal");
-  }
-
-  bool parse_number(JsonValue& out) {
-    const std::size_t begin = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == begin) return fail("expected a value");
-    const std::string token(text_.substr(begin, pos_ - begin));
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
-      pos_ = begin;
-      return fail("malformed number");
-    }
-    out.kind = JsonValue::Kind::kNumber;
-    out.number = value;
-    return true;
-  }
-
-  bool parse_string(std::string& out) {
-    if (!consume('"')) return false;
-    out.clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (static_cast<unsigned char>(c) < 0x20) {
-        return fail("unescaped control character in string");
-      }
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) break;
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return fail("malformed \\u escape");
-          }
-          // UTF-8 encode (BMP only; the trace writer never emits
-          // surrogate pairs).
-          if (code < 0x80) {
-            out.push_back(static_cast<char>(code));
-          } else if (code < 0x800) {
-            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
-            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
-            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          }
-          break;
-        }
-        default:
-          return fail("invalid escape");
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  bool parse_array(JsonValue& out, int depth) {
-    if (!consume('[')) return false;
-    out.kind = JsonValue::Kind::kArray;
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      JsonValue element;
-      skip_ws();
-      if (!parse_value(element, depth + 1)) return false;
-      out.array.push_back(std::move(element));
-      skip_ws();
-      if (pos_ >= text_.size()) return fail("unterminated array");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return fail("expected ',' or ']'");
-    }
-  }
-
-  bool parse_object(JsonValue& out, int depth) {
-    if (!consume('{')) return false;
-    out.kind = JsonValue::Kind::kObject;
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (!parse_string(key)) return false;
-      skip_ws();
-      if (!consume(':')) return false;
-      skip_ws();
-      JsonValue value;
-      if (!parse_value(value, depth + 1)) return false;
-      out.object.emplace_back(std::move(key), std::move(value));
-      skip_ws();
-      if (pos_ >= text_.size()) return fail("unterminated object");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return fail("expected ',' or '}'");
-    }
-  }
-
-  std::string_view text_;
-  std::string& error_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
-
-bool parse_json(std::string_view text, JsonValue& out, std::string& error) {
-  return Parser(text, error).parse(out);
-}
-
 // ---------------------------------------------------------------------------
 // Checkers
 

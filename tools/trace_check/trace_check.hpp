@@ -13,10 +13,9 @@
 //    shape of every matrix, a zero diagonal (machines never message
 //    themselves), and strictly increasing superstep indices.
 //
-// The JSON layer is a deliberately tiny recursive-descent parser (no
-// external dependency, same spirit as util/json.hpp on the write side).
-// Objects preserve insertion order as a vector of pairs — no unordered
-// containers, so the checker itself stays km_lint-clean.
+// The JSON layer is the repo-wide read-side parser (util/json_parse.hpp,
+// originally written here and promoted once km_serve needed it too).
+// The aliases below keep existing km::trace_check:: spellings working.
 //
 // Built as a library (km_trace_check_lib) so tests/test_trace.cpp can
 // validate exports in-process, plus the km_trace_check CLI for CI.
@@ -25,33 +24,14 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
-#include <utility>
 #include <vector>
+
+#include "util/json_parse.hpp"
 
 namespace km::trace_check {
 
-/// Minimal JSON document model.  One struct instead of a variant so the
-/// recursive type stays simple; `kind` says which payload field is live.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  /// Members in document order.
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  bool is(Kind k) const noexcept { return kind == k; }
-  /// First member named `key`, or nullptr (valid only on objects).
-  const JsonValue* find(std::string_view key) const noexcept;
-};
-
-/// Parses `text` into `out`.  Returns false and sets `error` (with byte
-/// offset) on malformed input.  Full document: trailing garbage is an
-/// error.
-bool parse_json(std::string_view text, JsonValue& out, std::string& error);
+using km::JsonValue;
+using km::parse_json;
 
 struct CheckResult {
   std::vector<std::string> errors;  ///< empty means the document is valid
