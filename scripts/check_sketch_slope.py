@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Gate the sketch plane's round scaling from bench_sketch's JSON output.
+
+Reads the Google Benchmark document written by bench_sketch
+(bench-results/BENCH_sketch.json after scripts/run_benches.sh), re-fits
+the rounds-vs-k log-log slopes for the sketch algorithm and the
+centralized baseline, and fails if either the sketch exponent or the
+sketch/baseline separation regresses.  The rounds counters come from
+deterministic engine runs (fixed seeds, hash-based randomness), so the
+fitted slopes are exact across hosts and --quick has no effect on them
+-- only the wall-clock fields vary.
+
+The bench grid is n=1024, k in {2,4,8,16}: smaller than the n=4096 grid
+tests/test_round_bounds.cpp pins (where the fitted exponent clears
+-1.5), so the per-superstep round floors flatten the curve and the
+thresholds here are correspondingly looser.  Measured on the current
+protocol: sketch -1.301, baseline -0.843.
+
+Usage: scripts/check_sketch_slope.py [path/to/BENCH_sketch.json]
+"""
+
+import json
+import math
+import re
+import sys
+
+# Looser than test_round_bounds' -1.5: the bench grid includes k=16,
+# where five supersteps' worth of >=1-round floors dominate at n=1024.
+SKETCH_SLOPE_MAX = -1.25
+BASELINE_SLOPE_RANGE = (-1.05, -0.6)
+MIN_SEPARATION = 0.3  # sketch_slope <= baseline_slope - this
+
+
+def fit_slope(points):
+    """Least-squares slope of log(rounds) against log(k)."""
+    xs = [math.log(k) for k, _ in points]
+    ys = [math.log(r) for _, r in points]
+    n = len(xs)
+    mx, my = sum(xs) / n, sum(ys) / n
+    return sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / sum(
+        (x - mx) ** 2 for x in xs
+    )
+
+
+def series(doc, bench_name):
+    points = []
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        m = re.match(rf"{bench_name}/(\d+)", b.get("name", ""))
+        if m and "rounds" in b:
+            points.append((int(m.group(1)), float(b["rounds"])))
+    return sorted(points)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench-results/BENCH_sketch.json"
+    with open(path) as f:
+        doc = json.load(f)
+
+    sketch = series(doc, "BM_SketchConnectivityRounds")
+    baseline = series(doc, "BM_BaselineConnectivityRounds")
+    if len(sketch) < 3 or len(baseline) < 3:
+        print(
+            f"FAIL: need >=3 k-points per series, got sketch={sketch} "
+            f"baseline={baseline} in {path}"
+        )
+        return 1
+
+    s, b = fit_slope(sketch), fit_slope(baseline)
+    print(f"sketch   rounds-vs-k: {sketch}  slope {s:+.3f}")
+    print(f"baseline rounds-vs-k: {baseline}  slope {b:+.3f}")
+
+    ok = True
+    if s > SKETCH_SLOPE_MAX:
+        print(f"FAIL: sketch slope {s:+.3f} > {SKETCH_SLOPE_MAX} "
+              "(lost its k^-2 scaling)")
+        ok = False
+    if not BASELINE_SLOPE_RANGE[0] <= b <= BASELINE_SLOPE_RANGE[1]:
+        print(f"FAIL: baseline slope {b:+.3f} outside {BASELINE_SLOPE_RANGE} "
+              "(no longer the n/k strawman)")
+        ok = False
+    if s > b - MIN_SEPARATION:
+        print(f"FAIL: separation {b - s:.3f} < {MIN_SEPARATION} "
+              "(the paper's k^-2 vs k^-1 gap collapsed)")
+        ok = False
+    if ok:
+        print(f"OK: slope {s:+.3f} <= {SKETCH_SLOPE_MAX}, "
+              f"separation {b - s:.3f} >= {MIN_SEPARATION}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

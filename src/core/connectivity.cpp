@@ -1,11 +1,13 @@
 #include "core/connectivity.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/detail/sketch_kernels.hpp"
 #include "core/detail/sorted.hpp"
 #include "core/sketch.hpp"
 #include "util/hash.hpp"
@@ -15,13 +17,17 @@ namespace km {
 
 namespace {
 
-constexpr std::uint16_t kSketchTag = 1;      // (label, L0 cells)
-constexpr std::uint16_t kMoeCellTag = 2;     // (label, 1-sparse cell)
-constexpr std::uint16_t kIntervalTag = 3;    // (label, lo, hi, dead)
-constexpr std::uint16_t kLabelQueryTag = 4;  // (vertex)
-constexpr std::uint16_t kLabelReplyTag = 5;  // (vertex, label)
-constexpr std::uint16_t kRootQueryTag = 6;   // (label)
-constexpr std::uint16_t kRootReplyTag = 7;   // (label, root, finished)
+// Every plane is batched per link: one message per (src, dst, superstep)
+// holding every entry bound for dst, so the per-message header is paid
+// once per link instead of once per label.
+constexpr std::uint16_t kSketchTag = 1;  // [label, nnz, (cell pos, cell)*]*
+constexpr std::uint16_t kCandidateTag = 7;  // [label, n, edge id*]*
+constexpr std::uint16_t kMoeCellTag = 2;   // [label, 1-sparse cell(s)]*
+constexpr std::uint16_t kIntervalTag = 3;  // [label, lo, hi, dead]*
+constexpr std::uint16_t kLabelQueryTag = 4;  // [vertex]*
+constexpr std::uint16_t kLabelReplyTag = 5;  // [label]* in query order
+// stats (attempts, failures, alive) then [label, root, finished]*
+constexpr std::uint16_t kRootPushTag = 6;
 constexpr std::uint16_t kEdgeShipTag = 8;    // baseline: (u, v)
 constexpr std::uint16_t kLabelShipTag = 9;   // baseline: labels, owned order
 
@@ -51,6 +57,10 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
     throw std::invalid_argument(
         "sketch connectivity: partition does not match graph/k");
   }
+  if (cfg.threshold_arity < 2) {
+    throw std::invalid_argument(
+        "sketch connectivity: threshold_arity must be >= 2");
+  }
   const EdgeIdCodec codec(n);
   const std::uint32_t id_bits = codec.id_bits();
   const std::size_t max_phases =
@@ -73,10 +83,32 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
   std::vector<std::vector<WeightedEdge>> emitted(k);
   std::vector<std::size_t> phases_by_machine(k, 0);
 
+  // Balanced assignment: stratify labels by their rank inside their home
+  // machine's owned list, so machine m's hosted labels spread over
+  // proxies in lockstep — at phase 0 (labels = owned vertices) every
+  // (machine, proxy) link carries exactly floor/ceil(|owned|/k)
+  // sketches, where a hashed assignment pays a binomial tail of ~1.8x
+  // the mean on some link.  The partition is shared knowledge, so every
+  // host of a label computes the same proxy without communication; the
+  // hashed flavor stays available for experiments.
+  std::vector<std::uint32_t> rank_of;
+  if (cfg.balanced_proxies) {
+    rank_of.assign(n, 0);
+    for (std::size_t m = 0; m < k; ++m) {
+      const auto& owned = part.owned(m);
+      for (std::size_t i = 0; i < owned.size(); ++i) {
+        rank_of[owned[i]] = static_cast<std::uint32_t>(i);
+      }
+    }
+  }
   const auto proxy_of = [&, proxy_seed = mix64(cfg.seed, 0x9c'e7'0a'17ULL)](
                             std::uint32_t label) {
-    return static_cast<std::size_t>(hash_vertex(proxy_seed, label) % k);
+    return cfg.balanced_proxies
+               ? static_cast<std::size_t>(rank_of[label] % k)
+               : static_cast<std::size_t>(hash_vertex(proxy_seed, label) % k);
   };
+
+  const std::uint32_t arity = cfg.threshold_arity;
 
   const Program program = [&](MachineContext& ctx) {
     const std::size_t self = ctx.id();
@@ -94,6 +126,28 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
     std::vector<std::uint32_t> frag(owned.size());
     for (std::size_t i = 0; i < owned.size(); ++i) frag[i] = owned[i];
     std::unordered_set<std::uint32_t> finished;
+
+    if (find_mode == EdgeFind::kL0Sample && cfg.batch_local_phases) {
+      // Batch every purely machine-local Borůvka phase into superstep
+      // zero: union-find over the locally-visible edges (both endpoints
+      // owned), then label each local component by its minimum member —
+      // globally unique because ownership partitions the vertices.
+      UnionFind uf(owned.size());
+      for (std::size_t i = 0; i < owned.size(); ++i) {
+        for (const Vertex nb : neighbors(owned[i])) {
+          const auto it = index_of.find(nb);
+          if (it != index_of.end()) uf.unite(i, it->second);
+        }
+      }
+      std::unordered_map<std::size_t, Vertex> min_member;
+      for (std::size_t i = 0; i < owned.size(); ++i) {
+        auto [it, fresh] = min_member.try_emplace(uf.find(i), owned[i]);
+        if (!fresh) it->second = std::min(it->second, owned[i]);
+      }
+      for (std::size_t i = 0; i < owned.size(); ++i) {
+        frag[i] = min_member.at(uf.find(i));
+      }
+    }
 
     // MOE mode: per-vertex incident (key, sign) lists, built once.  The
     // key packs (weight, edge id) so the key order is exactly
@@ -121,8 +175,39 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
       }
       max_key = ctx.all_reduce_max(max_key);
     }
-    const std::uint32_t halvings =
-        find_mode == EdgeFind::kMoeSearch ? ceil_log2(max_key + 1) : 0;
+    // s-ary refinements until an interval of max_key + 1 keys pins to
+    // one: each step divides the length by arity, rounding up.
+    std::uint32_t refinements = 0;
+    if (find_mode == EdgeFind::kMoeSearch) {
+      for (std::uint64_t len = max_key + 1; len > 1;
+           len = (len + arity - 1) / arity) {
+        ++refinements;
+      }
+    }
+    // Subinterval boundaries of [lo, hi]: bound(j) for j = 1..arity-1,
+    // with bound(0) = lo - 1 and bound(arity) = hi implied.  Sizes
+    // differ by at most one, so lengths shrink by ceil-division.
+    const auto split_bound = [&](std::uint64_t lo, std::uint64_t len,
+                                 std::uint32_t j) {
+      const auto wide = static_cast<unsigned __int128>(len) * j;
+      return lo + static_cast<std::uint64_t>((wide + arity - 1) / arity) - 1;
+    };
+
+    // One reusable Writer per destination; flush() sends every non-empty
+    // one under the plane's tag (send() consumes the contents, so the
+    // writers are clean for the next plane).
+    std::vector<Writer> outbox(k);
+    const auto flush = [&](std::uint16_t tag) {
+      for (std::size_t dst = 0; dst < k; ++dst) {
+        if (dst != self && outbox[dst].size_bytes() != 0) {
+          ctx.send(dst, tag, outbox[dst]);
+        }
+      }
+    };
+
+    std::uint32_t rows = cfg.adapt_rows
+                             ? std::clamp(cfg.rows, cfg.min_rows, cfg.max_rows)
+                             : cfg.rows;
 
     std::size_t phase = 0;
     bool done = false;
@@ -134,18 +219,23 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
       const std::uint64_t phase_seed =
           mix64(cfg.seed, 0xB0'12'34'00ULL + phase);
       const std::uint64_t z = sketch_fingerprint_base(phase_seed);
-      const auto coin_head = [&](std::uint32_t label) {
-        return (hash_vertex(mix64(phase_seed, 0xC0'11ULL), label) & 1) != 0;
-      };
 
-      // ---- Find stage: one outgoing edge per hosted component. ----
-      std::unordered_map<std::uint32_t, FoundEdge> found;      // proxy side
+      // ---- Find stage: outgoing edge candidates per hosted component.
+      // Connectivity harvests every distinct edge the fold's rows
+      // recover (more candidates -> more components hook per phase);
+      // the MST search pins exactly one, the MOE. ----
+      std::unordered_map<std::uint32_t, std::vector<FoundEdge>> found;
       std::unordered_set<std::uint32_t> finished_here;         // proxy side
+      // Machines hosting each label proxied here, recorded from the
+      // first up-exchange of the phase; the root push goes only to them.
+      std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> hosts;
       bool any_alive = false;                                  // proxy side
+      std::uint64_t attempts = 0;                              // proxy side
+      std::uint64_t failures = 0;                              // proxy side
 
       if (find_mode == EdgeFind::kL0Sample) {
         const L0SketchShape shape{
-            .id_bits = id_bits, .rows = cfg.rows, .seed = phase_seed};
+            .id_bits = id_bits, .rows = rows, .seed = phase_seed};
         // Pre-aggregate per (machine, label): summing the sketches of
         // every locally-hosted member costs nothing (linearity), and it
         // is what keeps the per-link load at Õ(n/k²) — without it, a
@@ -161,151 +251,303 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
             sketch.add(codec.encode(v, nb), EdgeIdCodec::sign_for(v, nb));
           }
         }
-        std::unordered_map<std::uint32_t, L0Sketch> folded;
+        // Sliced two-stage aggregation.  A single-proxy fold pays the
+        // per-link *max*, not the mean: which labels a machine hosts is
+        // random, so some (host, proxy) link carries 1.6-5x the average
+        // sketch load and the measured rounds flatten away from n/k².
+        // Instead every nonzero cell travels to a holder hashed from
+        // (label, cell position) — cell-granularity balls-into-bins, so
+        // every link carries (hosted bits)/k to within a few percent no
+        // matter which labels a machine hosts or which cells of the
+        // cascade are dense.  All copies of one (label, position) cell
+        // hash to the same holder, so each holder folds the true cells
+        // of the folded sketch (by linearity the fold of the copies is
+        // the cell of the fold).  Holders then recover candidate
+        // support members from their folded cells and forward only the
+        // ids, so reassembly costs a few varints per label instead of
+        // a second sketch-sized hop.  Hosts always send the proxy an
+        // entry (possibly empty): it doubles as the host census for
+        // the root push.
+        const std::uint32_t levels = shape.levels();
+        const std::size_t ncells_total = std::size_t{rows} * levels;
+        const std::uint64_t universe =
+            id_bits >= 64 ? 0 : (std::uint64_t{1} << id_bits);
+        const std::uint64_t stripe_seed = mix64(phase_seed, 0x57'81'9eULL);
+        const auto holder_of = [&](std::uint32_t c, std::size_t pos) {
+          return static_cast<std::size_t>(
+              mix64(mix64(stripe_seed, c), static_cast<std::uint64_t>(pos)) %
+              k);
+        };
+        // Folded (position, cell) pairs this machine holds per label.
+        std::unordered_map<std::uint32_t,
+                           std::vector<std::pair<std::uint32_t, SketchCell>>>
+            slice_fold;
+        const auto fold_into = [&](std::uint32_t c, std::uint32_t pos,
+                                   const SketchCell& cell) {
+          auto& acc = slice_fold[c];
+          for (auto& [p, folded] : acc) {
+            if (p == pos) {
+              folded.merge(cell);
+              return;
+            }
+          }
+          acc.emplace_back(pos, cell);
+        };
+        std::vector<std::vector<std::pair<std::uint32_t, SketchCell>>> sliced(
+            k);
         for (const std::uint32_t c : detail::sorted_keys(partial)) {
-          L0Sketch& sketch = partial.at(c);
+          const L0Sketch& sketch = partial.at(c);
           const std::size_t proxy = proxy_of(c);
           if (proxy == self) {
-            const auto [it, fresh] = folded.try_emplace(c, shape);
-            if (fresh) {
-              it->second = std::move(sketch);
-            } else {
-              it->second.merge(sketch);
+            hosts[c].push_back(static_cast<std::uint32_t>(self));
+          }
+          for (auto& cells : sliced) cells.clear();
+          for (std::size_t pos = 0; pos < ncells_total; ++pos) {
+            const SketchCell cell = sketch.cell(pos / levels, pos % levels);
+            if (cell.is_zero()) continue;
+            sliced[holder_of(c, pos)].emplace_back(
+                static_cast<std::uint32_t>(pos), cell);
+          }
+          for (std::size_t dst = 0; dst < k; ++dst) {
+            if (dst == self) {
+              for (const auto& [pos, cell] : sliced[dst]) {
+                fold_into(c, pos, cell);
+              }
+              continue;
             }
-          } else {
-            Writer w;
+            if (sliced[dst].empty() && dst != proxy) continue;
+            Writer& w = outbox[dst];
             w.put_varint(c);
-            sketch.serialize(w);
-            ctx.send(proxy, kSketchTag, w);
+            w.put_varint(sliced[dst].size());
+            for (const auto& [pos, cell] : sliced[dst]) {
+              w.put_varint(pos);
+              cell.serialize(w);
+            }
           }
         }
         partial.clear();
+        flush(kSketchTag);
         for (const Message& msg : ctx.exchange()) {
           Reader r(msg.payload);
-          const auto c = static_cast<std::uint32_t>(r.get_varint());
-          folded.try_emplace(c, shape).first->second.merge_serialized(r);
+          while (!r.done()) {
+            const auto c = static_cast<std::uint32_t>(r.get_varint());
+            const std::uint64_t nnz = r.get_varint();
+            if (proxy_of(c) == self) hosts[c].push_back(msg.src);
+            for (std::uint64_t t = 0; t < nnz; ++t) {
+              const auto pos = static_cast<std::uint32_t>(r.get_varint());
+              fold_into(c, pos, SketchCell::deserialize(r));
+            }
+          }
         }
-        for (const std::uint32_t c : detail::sorted_keys(folded)) {
-          const L0Sketch& sketch = folded.at(c);
-          if (sketch.empty_whp()) {
+        // Candidate forward: recover from the folded stripes, ship ids.
+        // A label with no nonzero stripe anywhere has an empty folded
+        // sketch (internal edges cancelled in the fold), so absence of
+        // reports is the emptiness certificate.
+        std::unordered_map<std::uint32_t, std::vector<std::uint64_t>> cand_ids;
+        std::unordered_set<std::uint32_t> nonzero_marks;  // proxy side
+        for (const std::uint32_t c : detail::sorted_keys(slice_fold)) {
+          bool nonzero = false;
+          std::vector<std::uint64_t> ids;
+          for (const auto& [pos, cell] : slice_fold.at(c)) {
+            if (cell.is_zero()) continue;
+            nonzero = true;
+            if (const auto id = cell.recover(z, universe)) ids.push_back(*id);
+          }
+          if (!nonzero) continue;
+          const std::size_t proxy = proxy_of(c);
+          if (proxy == self) {
+            nonzero_marks.insert(c);
+            auto& acc = cand_ids[c];
+            acc.insert(acc.end(), ids.begin(), ids.end());
+          } else {
+            Writer& w = outbox[proxy];
+            w.put_varint(c);
+            w.put_varint(ids.size());
+            for (const std::uint64_t id : ids) w.put_varint(id);
+          }
+        }
+        slice_fold.clear();
+        flush(kCandidateTag);
+        for (const Message& msg : ctx.exchange()) {
+          Reader r(msg.payload);
+          while (!r.done()) {
+            const auto c = static_cast<std::uint32_t>(r.get_varint());
+            nonzero_marks.insert(c);
+            const std::uint64_t m = r.get_varint();
+            auto& acc = cand_ids[c];
+            for (std::uint64_t t = 0; t < m; ++t) {
+              acc.push_back(r.get_varint());
+            }
+          }
+        }
+        for (const std::uint32_t c : detail::sorted_keys(hosts)) {
+          if (!nonzero_marks.contains(c)) {
             finished_here.insert(c);
             continue;
           }
           any_alive = true;
-          if (const auto id = sketch.sample()) {
-            const auto [a, b] = codec.decode(*id);
-            if (a < b && b < n) found[c] = FoundEdge{a, b, 0};
+          ++attempts;
+          auto& ids = cand_ids[c];
+          std::sort(ids.begin(), ids.end());
+          ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+          std::vector<FoundEdge> cand;
+          for (const std::uint64_t id : ids) {
+            const auto [a, b] = codec.decode(id);
+            if (a < b && b < n) cand.push_back(FoundEdge{a, b, 0});
+            if (cand.size() == 4) break;  // bound the label-query bits
           }
-          // A failed sample leaves the component idle this phase; the
-          // next phase retries with fresh hashes.
+          // A recovery-free fold leaves the component idle this phase
+          // (the next phase retries with fresh hashes) and feeds the
+          // row auto-sizing below.
+          if (cand.empty()) {
+            ++failures;
+          } else {
+            found[c] = std::move(cand);
+          }
         }
       } else {
-        // Exponentially-refined threshold search.  Machines keep the
-        // current [lo, hi] per hosted label from the proxy's replies;
-        // iteration 0 spans the full key range (the emptiness test), the
-        // next `halvings` iterations bisect, and the final iteration's
-        // cell is exactly 1-sparse and recovers the MOE.
+        // s-ary threshold search.  Machines keep the current [lo, hi]
+        // per hosted label from the proxy's pushes; iteration 0 spans
+        // the full key range (the emptiness test), the next
+        // `refinements` iterations each shrink the interval by `arity`,
+        // and the final iteration's cell is exactly 1-sparse and
+        // recovers the MOE.
         struct Interval {
           std::uint64_t lo = 0, hi = 0;
           bool dead = false;
         };
         std::unordered_map<std::uint32_t, Interval> ivals;       // machine
         std::unordered_map<std::uint32_t, Interval> proxy_ival;  // proxy
-        std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
-            senders;  // proxy: machines hosting each label, set at t = 0
         for (std::size_t i = 0; i < owned.size(); ++i) {
           const std::uint32_t c = frag[i];
           if (!finished.contains(c)) {
             ivals.try_emplace(c, Interval{0, max_key, false});
           }
         }
-        // Per-phase fingerprint powers, precomputed once per edge.
+        // Per-phase fingerprint powers via the shared windowed table
+        // (bit-identical to powmod61), one lookup per edge.
+        const auto& pows = detail::fingerprint_powers(
+            z, static_cast<std::uint32_t>(std::bit_width(max_key) + 1));
         std::vector<std::vector<std::uint64_t>> fpc(owned.size());
         for (std::size_t i = 0; i < owned.size(); ++i) {
           if (finished.contains(frag[i])) continue;
           fpc[i].reserve(incident[i].size());
           for (const auto& entry : incident[i]) {
-            fpc[i].push_back(powmod61(z, entry.first));
+            fpc[i].push_back(pows.pow(entry.first));
           }
         }
-        const std::uint32_t iterations = 1 + halvings + 1;
+        const std::uint32_t iterations = 1 + refinements + 1;
+        std::vector<std::uint64_t> bounds;
         for (std::uint32_t t = 0; t < iterations; ++t) {
+          const bool refining = t >= 1 && t <= refinements;
+          // Cells per up-entry this iteration: the emptiness test and
+          // the final recovery send one, a refinement sends arity-1
+          // prefix cells (labels already pinned to one key skip the
+          // iteration entirely, on both sides).
+          const std::uint32_t ncells = refining ? arity - 1 : 1;
           // Up: restricted cells pre-aggregated per (machine, label) —
-          // one cell per hosted component, not per vertex, keeping the
+          // one entry per hosted component, not per vertex, keeping the
           // per-link load Õ(n/k²) as components grow across machines.
-          std::unordered_map<std::uint32_t, SketchCell> partial;
+          std::unordered_map<std::uint32_t, std::vector<SketchCell>> partial;
           for (std::size_t i = 0; i < owned.size(); ++i) {
             const std::uint32_t c = frag[i];
             if (finished.contains(c)) continue;
             const auto iv = ivals.find(c);
             if (iv == ivals.end() || iv->second.dead) continue;
-            const std::uint64_t mid =
-                t == 0 ? max_key
-                       : iv->second.lo + (iv->second.hi - iv->second.lo) / 2;
-            SketchCell& cell = partial[c];
-            for (std::size_t j = 0; j < incident[i].size(); ++j) {
-              const auto& [key, sign] = incident[i][j];
-              if (key <= mid) cell.add_prepared(key, sign, fpc[i][j]);
-            }
-          }
-          std::unordered_map<std::uint32_t, SketchCell> folded;
-          std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
-              senders_now;
-          for (const std::uint32_t c : detail::sorted_keys(partial)) {
-            const SketchCell& cell = partial.at(c);
-            const std::size_t proxy = proxy_of(c);
-            if (proxy == self) {
-              folded[c].merge(cell);
-              if (t == 0) {
-                senders_now[c].push_back(static_cast<std::uint32_t>(self));
+            const std::uint64_t lo = iv->second.lo;
+            const std::uint64_t len = iv->second.hi - lo + 1;
+            if (refining && len == 1) continue;
+            bounds.clear();
+            if (refining) {
+              for (std::uint32_t j = 1; j < arity; ++j) {
+                bounds.push_back(split_bound(lo, len, j));
               }
             } else {
-              Writer w;
-              w.put_varint(c);
-              cell.serialize(w);
-              ctx.send(proxy, kMoeCellTag, w);
+              bounds.push_back(t == 0 ? max_key : lo);
+            }
+            auto& cells = partial[c];
+            cells.resize(ncells);
+            for (std::size_t j = 0; j < incident[i].size(); ++j) {
+              const auto& [key, sign] = incident[i][j];
+              for (std::size_t bi = 0; bi < bounds.size(); ++bi) {
+                if (key <= bounds[bi]) {
+                  cells[bi].add_prepared(key, sign, fpc[i][j]);
+                }
+              }
             }
           }
+          std::unordered_map<std::uint32_t, std::vector<SketchCell>> folded;
+          const auto fold = [&](std::uint32_t c,
+                                const std::vector<SketchCell>& cells) {
+            auto& acc = folded[c];
+            acc.resize(ncells);
+            for (std::uint32_t j = 0; j < ncells; ++j) acc[j].merge(cells[j]);
+          };
+          for (const std::uint32_t c : detail::sorted_keys(partial)) {
+            const std::size_t proxy = proxy_of(c);
+            if (proxy == self) {
+              fold(c, partial.at(c));
+              if (t == 0) {
+                hosts[c].push_back(static_cast<std::uint32_t>(self));
+              }
+            } else {
+              Writer& w = outbox[proxy];
+              w.put_varint(c);
+              for (const SketchCell& cell : partial.at(c)) cell.serialize(w);
+            }
+          }
+          flush(kMoeCellTag);
+          std::vector<SketchCell> incoming(ncells);
           for (const Message& msg : ctx.exchange()) {
             Reader r(msg.payload);
-            const auto c = static_cast<std::uint32_t>(r.get_varint());
-            folded[c].merge(SketchCell::deserialize(r));
-            if (t == 0) senders_now[c].push_back(msg.src);
-          }
-          if (t == 0) {
-            for (const std::uint32_t c : detail::sorted_keys(senders_now)) {
-              auto& who = senders_now.at(c);
-              std::sort(who.begin(), who.end());
-              who.erase(std::unique(who.begin(), who.end()), who.end());
-              senders[c] = std::move(who);
+            while (!r.done()) {
+              const auto c = static_cast<std::uint32_t>(r.get_varint());
+              for (std::uint32_t j = 0; j < ncells; ++j) {
+                incoming[j] = SketchCell::deserialize(r);
+              }
+              fold(c, incoming);
+              if (t == 0) hosts[c].push_back(msg.src);
             }
           }
-          // Proxy verdicts.
+          // Proxy verdicts; `refined` lists the labels whose interval
+          // changed and must be pushed back down.
+          std::vector<std::uint32_t> refined;
           for (const std::uint32_t c : detail::sorted_keys(folded)) {
-            auto& cell = folded.at(c);
+            const auto& cells = folded.at(c);
             auto& iv = proxy_ival[c];
             if (t == 0) {
-              if (cell.is_zero()) {
+              if (cells[0].is_zero()) {
                 iv.dead = true;
                 finished_here.insert(c);
+                refined.push_back(c);
               } else {
                 any_alive = true;
                 iv.lo = 0;
                 iv.hi = max_key;
               }
-            } else if (iv.dead) {
-              continue;
-            } else if (t <= halvings) {
-              const std::uint64_t mid = iv.lo + (iv.hi - iv.lo) / 2;
-              if (!cell.is_zero()) {
-                iv.hi = mid;
-              } else {
-                iv.lo = mid + 1;
+            } else if (refining) {
+              const std::uint64_t lo = iv.lo;
+              const std::uint64_t len = iv.hi - lo + 1;
+              // The MOE lies in the leftmost subinterval whose prefix
+              // cell is nonzero (prefixes are nested, and a nonempty
+              // restriction is nonzero whp by the fingerprint).
+              std::uint64_t new_lo = lo;
+              std::uint64_t new_hi = iv.hi;
+              for (std::uint32_t j = 1; j < arity; ++j) {
+                const std::uint64_t b = split_bound(lo, len, j);
+                if (!cells[j - 1].is_zero()) {
+                  new_hi = b;
+                  break;
+                }
+                new_lo = b + 1;
               }
+              iv.lo = new_lo;
+              iv.hi = new_hi;
+              refined.push_back(c);
             } else {
               // Final iteration: [lo, hi] pinned the MOE key, the
               // restricted vector is 1-sparse, recovery is exact.
-              const auto key = cell.recover(z, max_key + 1);
+              const auto key = cells[0].recover(z, max_key + 1);
               if (!key) {
                 throw std::logic_error(
                     "sketch_mst: 1-sparse recovery failed at a pinned MOE");
@@ -313,144 +555,201 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
               const auto [a, b] =
                   codec.decode(*key &
                                ((std::uint64_t{1} << id_bits) - 1));
-              found[c] = FoundEdge{a, b, *key >> id_bits};
+              found[c] = {FoundEdge{a, b, *key >> id_bits}};
             }
           }
-          // Down: updated intervals to every hosting machine (none
+          // Down: push changed intervals to the hosting machines (none
           // needed after the final iteration, but the exchange itself
-          // stays lockstep for every machine).
+          // stays lockstep for every machine).  A label declared dead
+          // at t = 0 is announced once; hosts then stop sending it.
           if (t + 1 < iterations) {
-            for (const std::uint32_t c : detail::sorted_keys(senders)) {
-              const auto& who = senders.at(c);
-              const auto iv = proxy_ival.find(c);
-              if (iv == proxy_ival.end()) continue;
-              // A label declared dead was announced in iteration 0's
-              // reply; hosting machines already stopped sending.
-              if (iv->second.dead && t > 0) continue;
-              for (const std::uint32_t m : who) {
+            std::sort(refined.begin(), refined.end());
+            for (const std::uint32_t c : refined) {
+              // Every changed interval is pushed, including one that
+              // just pinned to a single key: hosts need the final
+              // [lo, lo] to build the recovery cell, and both sides
+              // skip pinned labels in the remaining refinements.
+              const Interval& iv = proxy_ival.at(c);
+              auto hit = hosts.find(c);
+              if (hit == hosts.end()) continue;
+              for (const std::uint32_t m : hit->second) {
                 if (m == self) {
-                  ivals[c] = iv->second;
+                  ivals[c] = iv;
                   continue;
                 }
-                Writer w;
+                Writer& w = outbox[m];
                 w.put_varint(c);
-                w.put_varint(iv->second.lo);
-                w.put_varint(iv->second.hi);
-                w.put_u8(iv->second.dead ? 1 : 0);
-                ctx.send(m, kIntervalTag, w);
+                w.put_varint(iv.lo);
+                w.put_varint(iv.hi);
+                w.put_u8(iv.dead ? 1 : 0);
               }
             }
+            flush(kIntervalTag);
           }
-          for (const Message& msg : ctx.exchange()) {
-            Reader r(msg.payload);
-            const auto c = static_cast<std::uint32_t>(r.get_varint());
-            Interval iv;
-            iv.lo = r.get_varint();
-            iv.hi = r.get_varint();
-            iv.dead = r.get_u8() != 0;
-            ivals[c] = iv;
+          if (t + 1 < iterations) {
+            for (const Message& msg : ctx.exchange()) {
+              Reader r(msg.payload);
+              while (!r.done()) {
+                const auto c = static_cast<std::uint32_t>(r.get_varint());
+                Interval iv;
+                iv.lo = r.get_varint();
+                iv.hi = r.get_varint();
+                iv.dead = r.get_u8() != 0;
+                ivals[c] = iv;
+              }
+            }
           }
         }
       }
 
       // ---- Label queries: who is on each end of the found edges? ----
-      std::unordered_set<Vertex> query;
-      for (const std::uint32_t c : detail::sorted_keys(found)) {
-        query.insert(found.at(c).a);
-        query.insert(found.at(c).b);
-      }
+      // Batched per home machine; replies mirror the query order, so a
+      // reply message is bare labels.
       std::unordered_map<Vertex, std::uint32_t> vertex_label;
-      for (const Vertex v : detail::sorted_keys(query)) {
-        const std::size_t home = part.home(v);
-        if (home == self) {
-          vertex_label[v] = frag[index_of.at(v)];
-        } else {
-          Writer w;
-          w.put_varint(v);
-          ctx.send(home, kLabelQueryTag, w);
+      std::vector<std::vector<Vertex>> asked(k);
+      {
+        std::unordered_set<Vertex> query;
+        for (const std::uint32_t c : detail::sorted_keys(found)) {
+          for (const FoundEdge& edge : found.at(c)) {
+            query.insert(edge.a);
+            query.insert(edge.b);
+          }
+        }
+        for (const Vertex v : detail::sorted_keys(query)) {
+          const std::size_t home = part.home(v);
+          if (home == self) {
+            vertex_label[v] = frag[index_of.at(v)];
+          } else {
+            asked[home].push_back(v);
+            outbox[home].put_varint(v);
+          }
+        }
+        flush(kLabelQueryTag);
+      }
+      for (const Message& msg : ctx.exchange()) {
+        Reader r(msg.payload);
+        Writer& w = outbox[msg.src];
+        while (!r.done()) {
+          const auto v = static_cast<Vertex>(r.get_varint());
+          w.put_varint(frag[index_of.at(v)]);
         }
       }
+      flush(kLabelReplyTag);
       for (const Message& msg : ctx.exchange()) {
         Reader r(msg.payload);
-        const auto v = static_cast<Vertex>(r.get_varint());
-        Writer w;
-        w.put_varint(v);
-        w.put_varint(frag[index_of.at(v)]);
-        ctx.send(msg.src, kLabelReplyTag, w);
-      }
-      for (const Message& msg : ctx.exchange()) {
-        Reader r(msg.payload);
-        const auto v = static_cast<Vertex>(r.get_varint());
-        vertex_label[v] = static_cast<std::uint32_t>(r.get_varint());
+        for (const Vertex v : asked[msg.src]) {
+          vertex_label[v] = static_cast<std::uint32_t>(r.get_varint());
+        }
       }
 
-      // ---- Coin-flip hooking: tail components hook into heads. ----
+      // ---- Min-label hooking: a component hooks across the smallest
+      // sampled neighbour whose label is below its own.  Every hook
+      // edge points strictly down in label order, so the hook graph is
+      // acyclic, and the cluster-maximum label with a successful
+      // sample always hooks — with several candidates per fold the
+      // merge rate beats a coin-flip rule without any coin exchange.
       std::unordered_map<std::uint32_t, std::uint32_t> new_root;
       for (const std::uint32_t c : detail::sorted_keys(found)) {
-        const FoundEdge& edge = found.at(c);
-        const std::uint32_t la = vertex_label.at(edge.a);
-        const std::uint32_t lb = vertex_label.at(edge.b);
-        if (la != c && lb != c) continue;  // stale sample: skip safely
-        const std::uint32_t other = la == c ? lb : la;
-        if (other == c) continue;
-        if (!coin_head(c) && coin_head(other)) {
-          new_root[c] = other;
+        const FoundEdge* best_edge = nullptr;
+        std::uint32_t best_other = 0;
+        for (const FoundEdge& edge : found.at(c)) {
+          const std::uint32_t la = vertex_label.at(edge.a);
+          const std::uint32_t lb = vertex_label.at(edge.b);
+          if (la != c && lb != c) continue;  // stale sample: skip safely
+          const std::uint32_t other = la == c ? lb : la;
+          if (other == c) continue;
+          const bool hook = other < c;
+          if (hook) {
+            if (best_edge == nullptr || other < best_other) {
+              best_edge = &edge;
+              best_other = other;
+            }
+          }
+        }
+        if (best_edge != nullptr) {
+          new_root[c] = best_other;
           if (find_mode == EdgeFind::kMoeSearch) {
-            emitted[self].push_back(WeightedEdge{std::min(edge.a, edge.b),
-                                                 std::max(edge.a, edge.b),
-                                                 edge.weight});
+            emitted[self].push_back(
+                WeightedEdge{std::min(best_edge->a, best_edge->b),
+                             std::max(best_edge->a, best_edge->b),
+                             best_edge->weight});
           }
         }
       }
 
-      // ---- Root updates: every machine refreshes its hosted labels. ---
-      std::unordered_map<std::uint32_t, std::pair<std::uint32_t, bool>>
-          root_info;
+      // ---- Root push: proxies push (label, root, finished) to the
+      // recorded hosts, only for labels that changed; every machine's
+      // sampling stats ride in the same superstep, so termination needs
+      // no separate all-reduce and roots need no query round-trip. ----
+      std::unordered_map<std::uint32_t, std::pair<std::uint32_t, bool>> push;
       {
-        std::unordered_set<std::uint32_t> distinct;
-        for (const std::uint32_t c : frag) {
-          if (!finished.contains(c)) distinct.insert(c);
-        }
-        for (const std::uint32_t c : detail::sorted_keys(distinct)) {
-          const std::size_t proxy = proxy_of(c);
-          if (proxy == self) {
-            const auto it = new_root.find(c);
-            root_info[c] = {it == new_root.end() ? c : it->second,
-                            finished_here.contains(c)};
-          } else {
-            Writer w;
-            w.put_varint(c);
-            ctx.send(proxy, kRootQueryTag, w);
+        std::vector<std::vector<std::uint32_t>> tri(k);  // flat (c,root,fin)
+        for (const std::uint32_t c : detail::sorted_keys(hosts)) {
+          const auto it = new_root.find(c);
+          const std::uint32_t root = it == new_root.end() ? c : it->second;
+          const bool fin = finished_here.contains(c);
+          if (root == c && !fin) continue;
+          for (const std::uint32_t m : hosts.at(c)) {
+            if (m == self) {
+              push[c] = {root, fin};
+            } else {
+              tri[m].push_back(c);
+              tri[m].push_back(root);
+              tri[m].push_back(fin ? 1 : 0);
+            }
           }
         }
+        const bool have_stats = attempts != 0 || failures != 0 || any_alive;
+        for (std::size_t dst = 0; dst < k; ++dst) {
+          if (dst == self || (tri[dst].empty() && !have_stats)) continue;
+          Writer& w = outbox[dst];
+          w.put_varint(attempts);
+          w.put_varint(failures);
+          w.put_u8(any_alive ? 1 : 0);
+          for (std::size_t j = 0; j < tri[dst].size(); j += 3) {
+            w.put_varint(tri[dst][j]);
+            w.put_varint(tri[dst][j + 1]);
+            w.put_u8(tri[dst][j + 2] != 0 ? 1 : 0);
+          }
+          ctx.send(dst, kRootPushTag, w);
+        }
       }
+      std::uint64_t g_attempts = attempts;
+      std::uint64_t g_failures = failures;
+      bool g_alive = any_alive;
       for (const Message& msg : ctx.exchange()) {
         Reader r(msg.payload);
-        const auto c = static_cast<std::uint32_t>(r.get_varint());
-        const auto it = new_root.find(c);
-        Writer w;
-        w.put_varint(c);
-        w.put_varint(it == new_root.end() ? c : it->second);
-        w.put_u8(finished_here.contains(c) ? 1 : 0);
-        ctx.send(msg.src, kRootReplyTag, w);
-      }
-      for (const Message& msg : ctx.exchange()) {
-        Reader r(msg.payload);
-        const auto c = static_cast<std::uint32_t>(r.get_varint());
-        const auto root = static_cast<std::uint32_t>(r.get_varint());
-        const bool fin = r.get_u8() != 0;
-        root_info[c] = {root, fin};
+        g_attempts += r.get_varint();
+        g_failures += r.get_varint();
+        g_alive = r.get_u8() != 0 || g_alive;
+        while (!r.done()) {
+          const auto c = static_cast<std::uint32_t>(r.get_varint());
+          const auto root = static_cast<std::uint32_t>(r.get_varint());
+          const bool fin = r.get_u8() != 0;
+          push[c] = {root, fin};
+        }
       }
       for (std::size_t i = 0; i < owned.size(); ++i) {
         const std::uint32_t c = frag[i];
         if (finished.contains(c)) continue;
-        const auto& [root, fin] = root_info.at(c);
-        frag[i] = root;
-        if (fin) finished.insert(c);  // fin implies root == c
+        const auto it = push.find(c);
+        if (it == push.end()) continue;  // unchanged this phase
+        frag[i] = it->second.first;
+        if (it->second.second) finished.insert(c);  // fin implies root == c
+      }
+      // Row auto-sizing from the global failure rate; identical inputs
+      // on every machine keep the next phase's shapes agreed.
+      if (find_mode == EdgeFind::kL0Sample && cfg.adapt_rows &&
+          g_attempts != 0) {
+        if (g_failures * 4 >= g_attempts) {
+          rows = std::min(rows + 1, cfg.max_rows);
+        } else if (g_failures * 16 <= g_attempts) {
+          rows = std::max(rows - 1, cfg.min_rows);
+        }
       }
 
       ++phase;
-      done = !ctx.all_reduce_or(any_alive);
+      done = !g_alive;
     }
 
     for (std::size_t i = 0; i < owned.size(); ++i) {
@@ -464,6 +763,16 @@ DistributedMstResult run_sketch_boruvka(const Graph* ug,
     result.edges.insert(result.edges.end(), edges.begin(), edges.end());
   }
   std::sort(result.edges.begin(), result.edges.end(), mst_edge_less);
+  // Equal-coin hooking can let two proxies contract the same physical
+  // edge in one phase (each from its own component's side); the MSF edge
+  // set is the deduplicated union.
+  result.edges.erase(std::unique(result.edges.begin(), result.edges.end(),
+                                 [](const WeightedEdge& x,
+                                    const WeightedEdge& y) {
+                                   return x.u == y.u && x.v == y.v &&
+                                          x.weight == y.weight;
+                                 }),
+                     result.edges.end());
   for (const auto& e : result.edges) result.total_weight += e.weight;
   result.phases = phases_by_machine.empty() ? 0 : phases_by_machine[0];
   return result;

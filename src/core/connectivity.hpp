@@ -4,38 +4,69 @@
 // baseline the round-bounds harness measures it against.
 //
 // sketch_connectivity() runs Borůvka phases where *no machine ever
-// enumerates a component's edge set*:
-//   - each phase, every home machine builds a fresh-seeded ℓ₀ sketch
-//     (core/sketch.hpp, O(polylog n) bits) of each owned vertex's signed
-//     edge-incidence vector and sends it to the component's proxy
-//     machine hash(label) mod k;
-//   - the proxy *adds* the member sketches — internal edges cancel by
-//     linearity — and samples the folded sketch: a uniformly random
-//     outgoing edge of the whole component, or proof (whp) that none
-//     exists and the component is complete;
-//   - components merge by coin-flip hooking (Karger/Luby style): a
-//     phase-seeded hash coin marks each label head or tail, and a tail
-//     hooks into the head on the far side of its sampled edge.  Heads
-//     never move, so merges are depth-1 stars and no pointer-jumping
-//     cycles can form; a constant fraction of active components merges
-//     per phase in expectation, giving O(log n) phases whp.
-// Per phase each machine ships Õ(n/k) sketch bits spread over k random
-// proxies — Õ(n/k²) per link, hence Õ(n/k²) rounds per phase at
-// B = polylog(n), against Ω̃(n/k²) from the paper's General Lower Bound
-// Theorem.  tests/test_round_bounds.cpp pins the measured exponent.
+// enumerates a component's edge set*.  A phase is exactly five
+// supersteps:
+//   1. sketch-up: every home machine builds a fresh-seeded ℓ₀ sketch
+//      (core/sketch.hpp, O(polylog n) bits) of each hosted component's
+//      summed edge-incidence vector, pre-aggregated over its owned
+//      members, and ships each nonzero cell to a *holder* machine
+//      hashed from (label, cell position).  All copies of one cell
+//      meet at one holder, so the folded copies are exactly that cell
+//      of the component's folded sketch (internal edges cancel by
+//      linearity) — and because the balancing granularity is a single
+//      cell, every link carries its machine's hosted sketch bits
+//      spread 1/k-evenly *regardless of which labels it hosts*.  A
+//      single designated proxy per label (rank mod k) always receives
+//      an entry from each host, giving it the phase's host census;
+//   2. candidate-forward: each holder runs 1-sparse recovery on its
+//      folded cells and forwards just the recovered edge ids to the
+//      label's proxy — a few varints per label, not a second
+//      sketch-sized hop.  Absence of any nonzero report is the proxy's
+//      (whp-exact) proof the component has no outgoing edge left;
+//   3. label-query / 4. label-reply: proxies resolve the component
+//      labels of the candidate endpoints from their home machines, one
+//      batched query message per link with replies mirrored in query
+//      order;
+//   5. root-push: proxies decide hooking and *push* (label, root,
+//      finished) only to the machines recorded as hosts in step 1, and
+//      only for labels that actually changed — no per-label root
+//      queries — with each machine's sampling statistics (attempts,
+//      failures, any-alive) piggybacked on the same superstep, so the
+//      phase needs neither a root-query round-trip nor a separate
+//      all-reduce to detect termination.
+// Components merge by min-label hooking: a component hooks across the
+// smallest-labelled sampled neighbour whose label is below its own.
+// Hook edges point strictly downward in label order, so no pointer
+// cycle can form, and with several candidate edges per fold the
+// per-phase merge probability beats a coin-flip rule — the measured
+// grids converge in ~log₂(n)·0.9 phases.  Per phase each machine ships
+// Õ(n/k) sketch bits spread cell-by-cell over all k links — Õ(n/k²)
+// per link, hence Õ(n/k²) rounds per phase at B = polylog(n), against
+// Ω̃(n/k²) from the paper's General Lower Bound Theorem.
+// tests/test_round_bounds.cpp pins the measured exponent.  Two further
+// knobs trade constants: sketch rows start at
+// SketchConnectivityConfig::rows and auto-size against the observed
+// sample-failure rate (the piggybacked statistics make every machine
+// see identical totals, so shapes stay agreed), and batch_local_phases
+// contracts every machine-local component with a zero-communication
+// union-find before phase 0 — batching all purely local Borůvka phases
+// into one superstep.
 //
 // sketch_mst() extends this to exact MST: each phase, every active
 // component finds its true minimum outgoing edge under the total key
 // order (weight, endpoints) — the same tie-break order as the Kruskal
 // reference, so the result is the unique MSF edge for edge set — by an
-// exponentially-refined threshold search.  The proxy halves a key
-// interval [lo, hi] per step; home machines send 1-sparse cells of each
-// member vertex's incidence vector *restricted to edges with key <= mid*,
-// and the folded cell being nonzero (exact whp, by fingerprint) decides
-// the half.  Once the interval pins the MOE key, the restricted vector
-// is exactly 1-sparse and the cell recovers the edge deterministically.
-// Hooking then contracts only MOE edges, so every emitted edge is in the
-// MSF by the cut property, and the emitted set is exactly Kruskal's.
+// s-ary threshold search (s = threshold_arity).  Per refinement step
+// the proxy splits its key interval [lo, hi] into s near-equal
+// subintervals; home machines send s-1 cells of each hosted component's
+// incidence vector *restricted to keys <= split_j*, and the leftmost
+// nonzero prefix cell (exact whp, by fingerprint) names the subinterval
+// holding the MOE — log_s instead of log_2 interval refinements, each a
+// two-superstep up/down exchange with per-link-batched messages.  Once
+// the interval pins the MOE key, the restricted vector is exactly
+// 1-sparse and the cell recovers the edge deterministically.  Hooking
+// then contracts only MOE edges, so every emitted edge is in the MSF by
+// the cut property, and the emitted set is exactly Kruskal's.
 //
 // centralized_connectivity_baseline() is the Õ(n/k) strawman: every
 // machine ships its local edges to machine 0, which union-finds and
@@ -56,10 +87,36 @@ namespace km {
 /// parameterization (polylog-bit sketches, O(log n) phase budget).
 struct SketchConnectivityConfig {
   std::uint64_t seed = 0x5ce7c4;  ///< drives sketch hashes, coins, proxies
-  std::uint32_t rows = 4;         ///< independent ℓ₀ samplers per sketch
+  std::uint32_t rows = 2;         ///< initial ℓ₀ samplers per sketch
   /// Hard phase cap (a failed convergence throws); 0 = 4*ceil_log2(n)+16,
   /// generous against the O(log n) whp bound.
   std::size_t max_phases = 0;
+  /// Auto-size rows between phases from the globally-observed sample
+  /// failure rate: >= 1/4 failures grows rows (to max_rows), <= 1/16
+  /// shrinks them (to min_rows).  Every machine sees the same
+  /// piggybacked totals, so the adapted shape stays agreed without any
+  /// extra superstep.
+  bool adapt_rows = true;
+  std::uint32_t min_rows = 2;  ///< adaptation floor
+  std::uint32_t max_rows = 6;  ///< adaptation cap
+  /// Proxy assignment: home-machine rank mod k (balanced — per-phase
+  /// proxied label counts differ by at most one, spreading the census,
+  /// candidate, and root-push load) instead of a hashed assignment
+  /// with a sqrt-sized tail.  Sketch bits themselves are balanced
+  /// separately, cell-by-cell, whichever flavor is picked here.
+  bool balanced_proxies = true;
+  /// Contract every machine-local component with a zero-communication
+  /// union-find before phase 0 (connectivity only): all Borůvka phases
+  /// whose merges stay inside one machine collapse into superstep zero.
+  /// Off by default: the measured round grids pin the pure per-phase
+  /// protocol, and local contraction helps small k far more than large
+  /// k (a k-dependent head start that flattens the fitted exponent).
+  bool batch_local_phases = false;
+  /// Arity s of the MST threshold search: each refinement sends s-1
+  /// prefix cells and divides the key interval by s, so the interval
+  /// pins after log_s(max_key) two-superstep exchanges instead of
+  /// log_2.  Must be >= 2.
+  std::uint32_t threshold_arity = 4;
 };
 
 /// Sketch-based connectivity; labels are component-consistent vertex ids.

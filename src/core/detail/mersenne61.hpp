@@ -1,0 +1,58 @@
+// Mersenne-61 field primitives shared by the sketch layer and its SIMD
+// kernels (core/detail/sketch_kernels.*).
+//
+// The public entry points in core/sketch.hpp (mulmod61 / powmod61)
+// canonicalize arbitrary 64-bit inputs at the boundary; the _unchecked
+// flavors here skip that reduction and require inputs already in
+// [0, 2^61-1).  The distinction matters: the classic two-fold Mersenne
+// reduction inside mulmod is only correct when the 128-bit product fits
+// in ~122 bits, i.e. when both factors are reduced.  Feeding an
+// unreduced a >= 2^61 (e.g. UINT64_MAX, or a value == p that should
+// alias zero) into the unchecked path silently computes the wrong
+// residue, which is exactly the boundary bug the canonicalizing wrappers
+// exist to close.
+#pragma once
+
+#include <cstdint>
+
+namespace km::detail {
+
+inline constexpr std::uint64_t kMersenne61 = (std::uint64_t{1} << 61) - 1;
+
+/// Canonical representative of an arbitrary 64-bit value mod 2^61-1.
+/// Two folds bring any u64 below 2^61 + 7; the final conditional
+/// subtract lands in [0, p).  In particular reduce61(p) == 0 and
+/// reduce61(UINT64_MAX) == 7.
+inline constexpr std::uint64_t reduce61(std::uint64_t a) noexcept {
+  a = (a & kMersenne61) + (a >> 61);
+  a = (a & kMersenne61) + (a >> 61);
+  return a >= kMersenne61 ? a - kMersenne61 : a;
+}
+
+/// a + b mod 2^61-1; requires both inputs reduced (no overflow: the sum
+/// stays below 2^62).
+inline constexpr std::uint64_t addmod61_unchecked(std::uint64_t a,
+                                                  std::uint64_t b) noexcept {
+  const std::uint64_t s = a + b;
+  return s >= kMersenne61 ? s - kMersenne61 : s;
+}
+
+/// Additive inverse mod 2^61-1 of a reduced input.
+inline constexpr std::uint64_t negmod61_unchecked(std::uint64_t a) noexcept {
+  return a == 0 ? 0 : kMersenne61 - a;
+}
+
+/// a * b mod 2^61-1 via a 128-bit widening multiply and Mersenne
+/// folding.  Requires both inputs reduced; result is canonical.
+inline constexpr std::uint64_t mulmod61_unchecked(std::uint64_t a,
+                                                  std::uint64_t b) noexcept {
+  const unsigned __int128 x = static_cast<unsigned __int128>(a) * b;
+  // x = hi * 2^61 + lo == hi + lo (mod 2^61-1); for reduced inputs
+  // x < 2^122, so hi < 2^61 and one extra fold canonicalizes.
+  std::uint64_t r = static_cast<std::uint64_t>(x & kMersenne61) +
+                    static_cast<std::uint64_t>(x >> 61);
+  r = (r & kMersenne61) + (r >> 61);
+  return r >= kMersenne61 ? r - kMersenne61 : r;
+}
+
+}  // namespace km::detail

@@ -18,16 +18,34 @@
 //    the underlying vector really is 1-sparse; the fingerprint rejects
 //    everything else with error ≤ 64/2⁶¹ per check.  Also an exact
 //    emptiness test whp (a nonzero vector fingerprints to 0 with
-//    probability ≤ support·64/2⁶¹).  sketch_mst's threshold binary
-//    search uses bare cells.
+//    probability ≤ support·64/2⁶¹).  sketch_mst's threshold search uses
+//    bare cells.
 //  - L0Sketch: rows × levels cells, level ℓ subsampling ids nested with
 //    probability 2^-ℓ (trailing zeros of a seeded hash).  sample() scans
 //    for a verified 1-sparse cell, giving a uniformly-ish random element
 //    of the support with constant success probability per row.
 //
+// Storage is a structure-of-arrays arena: one 64-byte-aligned
+// allocation holding three contiguous streams (counts, id-sums,
+// fingerprints) over the rows×levels grid, plus per-row seeds and
+// watermarks.  The add/merge loops run through runtime-dispatched SIMD
+// kernels (core/detail/sketch_kernels.hpp: AVX2 when the CPU has it,
+// scalar otherwise) that perform identical integer arithmetic, so the
+// dispatch path never changes a single bit of any sketch.  Each row
+// also keeps a watermark — one past the highest level any update
+// touched — so merge and serialize skip the provably-zero tail of the
+// level cascade.
+//
+// The wire format is sparse: a nonzero-cell bitmap over the grid
+// followed by (varint count, varint id-sum, fixed fingerprint) per
+// nonzero cell.  Empty cells cost one bit instead of ten bytes, which
+// is what keeps the phase-0 payload (n singleton sketches, most of the
+// cascade untouched) at Õ(n/k²) with a small constant.
+//
 // Everything here is deterministic given (seed, id): merging is integer
 // addition, so sketches are exactly linear and merge-order invariant
-// (tests/test_sketch.cpp holds both as properties).
+// (tests/test_sketch.cpp holds both as properties, and
+// tests/test_sketch_simd.cpp holds scalar/AVX2 bit-identity).
 #pragma once
 
 #include <cstdint>
@@ -43,14 +61,21 @@ namespace km {
 /// Field modulus for fingerprints: the Mersenne prime 2^61 - 1.
 inline constexpr std::uint64_t kSketchPrime = (std::uint64_t{1} << 61) - 1;
 
-/// a * b mod 2^61-1 (inputs already reduced).
+/// a * b mod 2^61-1.  Inputs may be arbitrary u64 values: both are
+/// canonicalized at entry (values ≡ 2^61-1, e.g. the modulus itself or
+/// UINT64_MAX, alias their residue — the modulus aliases zero).  The
+/// result is always the canonical representative in [0, 2^61-1).
 std::uint64_t mulmod61(std::uint64_t a, std::uint64_t b) noexcept;
-/// base^exp mod 2^61-1 (base already reduced).
+/// base^exp mod 2^61-1.  The base is canonicalized at entry like
+/// mulmod61; the exponent is a plain integer (not reduced mod p-1).
 std::uint64_t powmod61(std::uint64_t base, std::uint64_t exp) noexcept;
 
 /// Packs an undirected edge into one integer id and back: the basis of
 /// the incidence vectors.  id = (min << vbits) | max, so ids are unique
 /// per edge, nonzero, and decode without any shared state beyond n.
+/// vbits tops out at 32 (Vertex is 32-bit): at that edge the id spans
+/// the full 64-bit word and every shift below stays < 64, so the
+/// arithmetic holds for n all the way up to 2^32.
 struct EdgeIdCodec {
   explicit EdgeIdCodec(std::size_t n) noexcept;
 
@@ -129,6 +154,11 @@ class L0Sketch {
  public:
   L0Sketch() = default;
   explicit L0Sketch(const L0SketchShape& shape);
+  L0Sketch(const L0Sketch& other);
+  L0Sketch& operator=(const L0Sketch& other);
+  L0Sketch(L0Sketch&& other) noexcept;
+  L0Sketch& operator=(L0Sketch&& other) noexcept;
+  ~L0Sketch();
 
   const L0SketchShape& shape() const noexcept { return shape_; }
   std::uint64_t fingerprint_base() const noexcept { return z_; }
@@ -138,6 +168,12 @@ class L0Sketch {
 
   /// Exact pointwise vector addition.  Shapes must match (checked).
   void merge(const L0Sketch& other);
+
+  /// Cache hint: request this sketch's merge-relevant lines.  Fold
+  /// loops that stream many sketches into one accumulator should hint
+  /// the *next* source before merging the current one — the merge is
+  /// otherwise bound on the source's demand misses.
+  void prefetch() const noexcept;
 
   /// Reads a serialized sketch of the same shape and merges it in
   /// without materializing a temporary.
@@ -153,23 +189,42 @@ class L0Sketch {
   /// same id.
   std::optional<std::uint64_t> sample() const noexcept;
 
+  /// Every distinct support member any 1-sparse cell recovers, sorted
+  /// ascending — the rows are independent samplers, so a single fold
+  /// usually yields several distinct members for free.  Deterministic in
+  /// the cell contents like sample() (which returns the first recovery
+  /// in row-major order, not necessarily the smallest).
+  std::vector<std::uint64_t> sample_all() const;
+
+  /// Sparse wire format: nonzero-cell bitmap, then per nonzero cell
+  /// (varint count, varint id-sum, fixed-width fingerprint).
   void serialize(Writer& w) const;
 
-  /// Test access: the cell at (row, level), row-major.
-  const SketchCell& cell(std::size_t row, std::size_t level) const noexcept {
-    return cells_[row * shape_.levels() + level];
+  /// Test access: the cell at (row, level), assembled from the arena.
+  SketchCell cell(std::size_t row, std::size_t level) const noexcept {
+    const std::size_t i = row * shape_.levels() + level;
+    return SketchCell{counts_[i], id_sums_[i], fps_[i]};
   }
-  std::size_t cell_count() const noexcept { return cells_.size(); }
+  std::size_t cell_count() const noexcept { return cells_; }
 
-  friend bool operator==(const L0Sketch& a, const L0Sketch& b) {
-    return a.shape_ == b.shape_ && a.cells_ == b.cells_;
-  }
+  friend bool operator==(const L0Sketch& a, const L0Sketch& b);
 
  private:
+  void alloc_arena();
+
   L0SketchShape shape_;
   std::uint64_t z_ = 1;
-  std::vector<std::uint64_t> row_seeds_;
-  std::vector<SketchCell> cells_;  ///< rows x levels, row-major
+  std::size_t cells_ = 0;  ///< rows * levels
+  // One 64-byte-aligned arena; counts_/id_sums_/fps_ are the three SoA
+  // streams over the row-major grid, followed by per-row subsampling
+  // seeds and watermarks (tops_[r] = one past the highest level any
+  // update touched in row r; every cell at or above it is zero).
+  std::uint64_t* arena_ = nullptr;
+  std::int64_t* counts_ = nullptr;
+  std::uint64_t* id_sums_ = nullptr;
+  std::uint64_t* fps_ = nullptr;
+  std::uint64_t* row_seeds_ = nullptr;
+  std::uint64_t* tops_ = nullptr;
 };
 
 /// Fingerprint base shared by every cell derived from `seed`: uniform in

@@ -13,16 +13,6 @@ std::uint64_t fnv1a64(std::string_view bytes) noexcept {
   return h;
 }
 
-std::uint64_t hash_u64(std::uint64_t x) noexcept {
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-std::uint64_t hash_vertex(std::uint64_t seed, std::uint64_t vertex) noexcept {
-  return hash_u64(seed ^ hash_u64(vertex + 0x9e3779b97f4a7c15ULL));
-}
-
 std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept {
   return h ^ (hash_u64(v) + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4));
 }

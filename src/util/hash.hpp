@@ -12,11 +12,19 @@ namespace km {
 /// FNV-1a over a byte string (stable across platforms).
 std::uint64_t fnv1a64(std::string_view bytes) noexcept;
 
-/// Strong 64-bit integer hash (splitmix64 finalizer).
-std::uint64_t hash_u64(std::uint64_t x) noexcept;
+/// Strong 64-bit integer hash (splitmix64 finalizer).  Inline: the
+/// sketch kernels evaluate it per (edge, row) on their hot path.
+inline std::uint64_t hash_u64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 
 /// Seeded hash of a vertex ID; the basis of hash-based RVP.
-std::uint64_t hash_vertex(std::uint64_t seed, std::uint64_t vertex) noexcept;
+inline std::uint64_t hash_vertex(std::uint64_t seed,
+                                 std::uint64_t vertex) noexcept {
+  return hash_u64(seed ^ hash_u64(vertex + 0x9e3779b97f4a7c15ULL));
+}
 
 /// Combine two hashes (boost-style, 64-bit constants).
 std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept;

@@ -52,6 +52,51 @@ TEST(Sketch, Mod61Arithmetic) {
   EXPECT_EQ(powmod61(123456789, kSketchPrime - 1), 1u);
 }
 
+TEST(Sketch, Mod61BoundaryInputsAliasTheirResidues) {
+  // mulmod61/powmod61 accept arbitrary u64 inputs and canonicalize at
+  // entry: p aliases 0, p+1 = 2^61 aliases 1, UINT64_MAX = 8p+7
+  // aliases 7.  Exhaustive cross-product over the boundary set against
+  // a __int128 reference, so a regression in the canonicalization (the
+  // classic "accepts [0, 2^61] but not above" bug) cannot hide.
+  const std::uint64_t p = kSketchPrime;
+  const std::uint64_t boundary[] = {0,       1,           p - 1,
+                                    p,       p + 1,       std::uint64_t{1} << 61,
+                                    p + 7,   UINT64_MAX - 1, UINT64_MAX};
+  const auto ref_mul = [&](std::uint64_t a, std::uint64_t b) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a % p) * (b % p)) % p);
+  };
+  for (const std::uint64_t a : boundary) {
+    for (const std::uint64_t b : boundary) {
+      ASSERT_EQ(mulmod61(a, b), ref_mul(a, b)) << "a=" << a << " b=" << b;
+      ASSERT_LT(mulmod61(a, b), p) << "non-canonical result";
+    }
+  }
+  // powmod61: boundary bases under a reference square-and-multiply
+  // built from the verified mulmod, across small and boundary exponents
+  // (the exponent is a plain integer, not reduced mod p-1).
+  const auto ref_pow = [&](std::uint64_t base, std::uint64_t exp) {
+    std::uint64_t acc = 1, sq = base % p;
+    for (; exp != 0; exp >>= 1) {
+      if (exp & 1) acc = ref_mul(acc, sq);
+      sq = ref_mul(sq, sq);
+    }
+    return acc;
+  };
+  for (const std::uint64_t base : boundary) {
+    for (const std::uint64_t exp :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{2},
+          std::uint64_t{63}, p - 1, p, p + 1, UINT64_MAX}) {
+      ASSERT_EQ(powmod61(base, exp), ref_pow(base, exp))
+          << "base=" << base << " exp=" << exp;
+    }
+  }
+  // Fermat sanity at the aliases: (p+1) ≡ 1, so any exponent fixes it;
+  // UINT64_MAX ≡ 7, so its (p-1)-th power is 1.
+  EXPECT_EQ(powmod61(p + 1, UINT64_MAX), 1u);
+  EXPECT_EQ(powmod61(UINT64_MAX, p - 1), 1u);
+}
+
 TEST(Sketch, CellOneSparseRecoveryIsExact) {
   const std::uint64_t z = sketch_fingerprint_base(7);
   for (const std::uint64_t id : {0ull, 1ull, 77ull, (1ull << 40) + 5}) {
@@ -271,6 +316,41 @@ TEST(Sketch, EdgeIdCodecRoundTrips) {
       EXPECT_EQ(codec.encode(a, b), codec.encode(b, a));
     }
   }
+}
+
+TEST(Sketch, EdgeIdCodecHandlesTheVbits32Ceiling) {
+  // At n = 2^32 (the full Vertex range) vbits saturates at 32: the edge
+  // id spans the whole 64-bit word, every shift in encode/decode is by
+  // exactly 32 (never 64, which would be UB), and ids stay unique.
+  // Regression grid: the largest representable vertex ids.
+  const EdgeIdCodec codec(std::size_t{1} << 32);
+  ASSERT_EQ(codec.vbits, 32u);
+  ASSERT_EQ(codec.id_bits(), 64u);
+  const Vertex top = 0xFFFFFFFFu;
+  const Vertex almost = 0xFFFFFFFEu;
+  const std::pair<Vertex, Vertex> edges[] = {
+      {almost, top}, {0, top}, {0, 1}, {1, top}, {almost, 0}};
+  std::vector<std::uint64_t> ids;
+  for (const auto& [a, b] : edges) {
+    const std::uint64_t id = codec.encode(a, b);
+    EXPECT_NE(id, 0u) << "edge ids must be nonzero";
+    const auto [lo, hi] = codec.decode(id);
+    EXPECT_EQ(lo, std::min(a, b)) << "a=" << a << " b=" << b;
+    EXPECT_EQ(hi, std::max(a, b)) << "a=" << a << " b=" << b;
+    EXPECT_EQ(id, codec.encode(b, a));
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end())
+      << "distinct edges collided at vbits=32";
+  // The extreme edge {2^32-2, 2^32-1} also survives a sketch round
+  // trip: cell arithmetic (z^id over Mersenne-61) is id-width agnostic.
+  const std::uint64_t z = sketch_fingerprint_base(17);
+  SketchCell cell;
+  cell.add(codec.encode(almost, top), +1, z);
+  const auto got = cell.recover(z, 0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, codec.encode(almost, top));
 }
 
 // ---------------------------------------------------------------------------
